@@ -1,0 +1,32 @@
+"""Shared fixtures and sizing helpers for the benchmark harness.
+
+The paper's cache-size configurations are reproduced as *ratios*: its
+256 MB cache over a 2.5 GB database is ≈ 10 % of the data, 512 MB ≈ 20 %,
+and Fig. 3(c)'s 320 MB database in a 256 MB cache starts memory-resident.
+``pages_after_load`` measures how many pages the scaled population needs,
+and each figure sizes its buffer cache to the paper's ratio of that.
+"""
+
+import functools
+
+import pytest
+
+from repro.bench import bench_scale, build_db
+from repro.common.config import ComplianceMode
+
+
+@functools.lru_cache(maxsize=None)
+def _pages_after_load_cached(tmp_root: str) -> int:
+    from pathlib import Path
+    db = build_db(Path(tmp_root) / "sizing", ComplianceMode.REGULAR,
+                  bench_scale(), buffer_pages=4096)
+    pages = db.engine.pager.page_count
+    db.close()
+    return pages
+
+
+@pytest.fixture(scope="session")
+def pages_after_load(tmp_path_factory) -> int:
+    """Number of pages the loaded TPC-C population occupies."""
+    root = tmp_path_factory.mktemp("sizing")
+    return _pages_after_load_cached(str(root))

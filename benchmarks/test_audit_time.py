@@ -1,0 +1,91 @@
+"""Section VII(c): audit time.
+
+Paper numbers (100 K transactions): the log-consistent audit is a single
+pass costing 121 s (snapshot) + 85 s (log) + 145 s (final state) = 351 s;
+hash-page-on-read verification adds 104 s; and the whole audit is "tiny
+compared to the 2-3 hours to execute the transactions".
+
+This benchmark reports the same phase breakdown at the configured scale,
+checks the audit-to-execution ratio, and adds the ablation the paper
+argues for analytically: the ADD-HASH completeness check versus the naive
+sort-merge variant.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import (bench_scale, bench_txns, build_db, emit,
+                         format_table, make_driver)
+from repro.common.config import ComplianceMode
+from repro.core import Auditor, sorted_completeness_check
+from repro.crypto import AddHash
+
+_rows = []
+
+
+@pytest.mark.parametrize("mode", [ComplianceMode.LOG_CONSISTENT,
+                                  ComplianceMode.HASH_ON_READ])
+def test_audit_time(benchmark, tmp_path, pages_after_load, mode, capsys):
+    scale = bench_scale()
+    db = build_db(tmp_path / mode.value, mode, scale,
+                  buffer_pages=max(16, int(pages_after_load * 0.10)))
+    driver = make_driver(db, scale)
+    run = driver.run(bench_txns())
+
+    report = benchmark.pedantic(lambda: Auditor(db).audit(),
+                                rounds=1, iterations=1)
+    assert report.ok, report.summary()
+    total_audit = sum(report.phase_seconds.values())
+    _rows.append([
+        mode.value,
+        report.phase_seconds.get("snapshot", 0.0),
+        report.phase_seconds.get("log", 0.0),
+        report.phase_seconds.get("final", 0.0),
+        total_audit,
+        run.elapsed_seconds,
+        f"{100 * total_audit / run.elapsed_seconds:.1f}%",
+    ])
+    benchmark.extra_info["read_hashes"] = report.read_hashes_checked
+    if mode is ComplianceMode.HASH_ON_READ:
+        emit(capsys, format_table(
+            "Section VII(c): audit time by phase (seconds)",
+            ["mode", "snapshot", "log scan", "final state", "audit total",
+             "txn execution", "audit/exec"], _rows,
+            note="paper: 121 + 85 + 145 = 351 s; +104 s for "
+                 "hash-on-read; audit is tiny vs 2-3 h of execution"))
+        assert total_audit < run.elapsed_seconds
+
+
+def test_addhash_vs_sort_merge(benchmark, tmp_path, capsys):
+    """The Section IV-A ablation: ADD-HASH beats sorting the log."""
+    import random
+    rng = random.Random(11)
+    snapshot = [rng.randbytes(64) for _ in range(4000)]
+    log = [rng.randbytes(64) for _ in range(8000)]
+    final = snapshot + log
+
+    started = time.perf_counter()
+    expected = AddHash(snapshot)
+    for item in log:
+        expected.add(item)
+    got = AddHash(final)
+    add_hash_ok = expected == got
+    add_hash_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    sorted_ok = sorted_completeness_check(snapshot, log, final)
+    sort_time = time.perf_counter() - started
+
+    benchmark.pedantic(
+        lambda: AddHash(final).digest(), rounds=3, iterations=1)
+    assert add_hash_ok and sorted_ok
+    emit(capsys, format_table(
+        "Completeness-check ablation (12 K tuples)",
+        ["method", "seconds", "complexity"],
+        [["ADD-HASH single pass", add_hash_time, "O(|Ds|+|L|+|Df|)"],
+         ["sort-merge", sort_time, "O(|L| log |L| + …)"]],
+        note="the paper's argument is asymptotic: at laptop scale an "
+             "in-memory C sort wins on constants, but a 100 GB log "
+             "cannot be sorted in memory at all, while ADD-HASH streams "
+             "in one pass with O(1) state"))

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""The attack gallery: every threat of Section II, and who catches it.
+
+Walks through the paper's threat model attack by attack, against both the
+log-consistent architecture and the hash-page-on-read refinement, printing
+a detection matrix.  The interesting row is *state reversion*: tamper,
+let a victim query the lie, revert before the audit — invisible to the
+basic architecture, caught by hash-page-on-read.
+
+Run:  python examples/attack_gallery.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (Auditor, ComplianceMode, CompliantDB, Field, FieldType,
+                   Schema, minutes)
+from repro.core import Adversary
+
+ACCOUNTS = Schema("accounts", [
+    Field("acct", FieldType.INT),
+    Field("owner", FieldType.STR),
+    Field("balance", FieldType.INT),
+], key_fields=["acct"])
+
+
+def fresh_database(path: Path, mode: ComplianceMode):
+    db = CompliantDB.create(path, mode=mode)
+    db.create_relation(ACCOUNTS)
+    for acct in range(50):
+        with db.transaction() as txn:
+            db.insert(txn, "accounts", {"acct": acct, "owner": "alice",
+                                        "balance": acct * 100})
+    for acct in range(0, 50, 5):
+        with db.transaction() as txn:
+            db.update(txn, "accounts", {"acct": acct, "owner": "alice",
+                                        "balance": 7})
+    mala = Adversary(db)
+    mala.settle()
+    return db, mala
+
+
+def attack_shred(db, mala):
+    """Threat 1: retroactively erase a committed record."""
+    mala.shred_tuple("accounts", (13,))
+
+
+def attack_alter(db, mala):
+    """Threat 1: quietly rewrite history in place."""
+    mala.alter_tuple("accounts", (7,),
+                     {"acct": 7, "owner": "mala", "balance": 10**9})
+
+
+def attack_backdate(db, mala):
+    """Threat 2: forge a record that 'always existed'."""
+    mala.backdate_insert("accounts",
+                         {"acct": 4444, "owner": "ghost", "balance": 1},
+                         start=db.clock.now() - minutes(120))
+
+
+def attack_index(db, mala):
+    """Fig. 2: make the index lie so lookups miss a tuple."""
+    mala.swap_leaf_entries("accounts")
+
+
+def attack_reversion(db, mala):
+    """Section V's motivating attack: tamper, serve queries, revert."""
+    handle = mala.begin_state_reversion(
+        "accounts", (7,), {"acct": 7, "owner": "mala",
+                           "balance": 123456})
+    print(f"      victim reads balance "
+          f"{db.get('accounts', (7,))['balance']} (a lie)")
+    handle.revert()
+    db.engine.buffer.drop_all()
+
+
+def attack_hidden_crash(db, mala):
+    """Crash the DBMS and recover without the compliance routines."""
+    db.clock.advance(minutes(40))
+    mala.crash_and_silent_recovery()
+    with db.transaction() as txn:
+        db.insert(txn, "accounts", {"acct": 900, "owner": "x",
+                                    "balance": 1})
+
+
+ATTACKS = [attack_shred, attack_alter, attack_backdate, attack_index,
+           attack_reversion, attack_hidden_crash]
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-gallery-"))
+    modes = [ComplianceMode.LOG_CONSISTENT, ComplianceMode.HASH_ON_READ]
+    width = max(len(a.__doc__.splitlines()[0]) for a in ATTACKS)
+    print(f"{'attack':<{width}} | {'log-consistent':<16} | hash-on-read")
+    print("-" * (width + 36))
+    for attack in ATTACKS:
+        label = attack.__doc__.splitlines()[0]
+        cells = []
+        for mode in modes:
+            db, mala = fresh_database(
+                workdir / f"{attack.__name__}-{mode.value}", mode)
+            attack(db, mala)
+            report = Auditor(db).audit(rotate=False)
+            cells.append("DETECTED" if not report.ok else "missed")
+        print(f"{label:<{width}} | {cells[0]:<16} | {cells[1]}")
+    print("\nNote the asymmetry on state reversion: that gap is exactly "
+          "why the paper\nintroduces the hash-page-on-read refinement "
+          "(finite query verification interval).")
+
+
+if __name__ == "__main__":
+    main()

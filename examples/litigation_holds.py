@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Litigation holds: subpoenaed evidence cannot be shredded (Section IX).
+
+"Evidence … can be subpoenaed and used against the company. Further, the
+evidence cannot be destroyed once it has been subpoenaed."  This example
+walks the full arc: records expire → a subpoena arrives → a hold freezes
+them past expiry → a rogue operator shreds them anyway → the audit
+convicts → the hold is released → lawful shredding resumes.
+
+Run:  python examples/litigation_holds.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (Auditor, ComplianceConfig, ComplianceMode, CompliantDB,
+                   DBConfig, Field, FieldType, Schema, SimulatedClock,
+                   minutes)
+from repro.common.codec import encode_key
+
+EMAILS = Schema("emails", [
+    Field("msg_id", FieldType.INT),
+    Field("sender", FieldType.STR),
+    Field("body", FieldType.STR),
+], key_fields=["msg_id"])
+
+RETENTION = minutes(30)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-holds-"))
+    clock = SimulatedClock()
+    db = CompliantDB.create(
+        workdir / "db", clock=clock, mode=ComplianceMode.LOG_CONSISTENT,
+        config=DBConfig(compliance=ComplianceConfig(
+            regret_interval=minutes(5))))
+    db.create_relation(EMAILS)
+    db.set_retention("emails", RETENTION)
+
+    for msg in range(1, 6):
+        with db.transaction() as txn:
+            db.insert(txn, "emails", {"msg_id": msg, "sender": "cfo",
+                                      "body": f"routine memo {msg}"})
+    db.pass_time(minutes(2))
+    for msg in range(1, 6):
+        with db.transaction() as txn:
+            db.update(txn, "emails", {"msg_id": msg, "sender": "cfo",
+                                      "body": "RECALLED"})
+    print("5 emails written, then recalled (history retained)")
+
+    # the subpoena arrives: a hold on message 3 -------------------------
+    hold_id = db.place_hold("emails", key=(3,),
+                            case_ref="SDNY-grand-jury-0417")
+    print(f"litigation hold #{hold_id} placed on message 3")
+
+    # retention lapses: lawful vacuuming spares the held message ---------
+    db.pass_time(RETENTION + minutes(10))
+    report = db.vacuum()
+    print(f"\nvacuum after expiry: {report.shredded_live} version(s) "
+          "shredded")
+    print(f"message 3 history: {len(db.versions('emails', (3,)))} "
+          "version(s) — protected by the hold")
+    print(f"message 4 history: {len(db.versions('emails', (4,)))} "
+          "version(s) — expired history lawfully shredded")
+    assert Auditor(db).audit().ok
+    print("audit: COMPLIANT (the hold was honoured)")
+
+    # a rogue operator destroys the evidence anyway ----------------------
+    info = db.engine.relation("emails")
+    db.engine.run_stamper()
+    victim = info.tree.versions(encode_key((3,)))[0]
+    db.plugin.log_shredded(victim, 0, clock.now())
+    db.engine.physically_delete(info.relation_id, victim.key,
+                                victim.start)
+    print("\na rogue operator shredded the subpoenaed original…")
+    audit = Auditor(db).audit(rotate=False)
+    print(f"audit: {'COMPLIANT' if audit.ok else 'VIOLATION'}")
+    for finding in audit.findings:
+        if finding.code == "shred-under-hold":
+            print(f"  finding: {finding}")
+
+
+if __name__ == "__main__":
+    main()

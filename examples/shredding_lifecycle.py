@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Shredding lifecycle: retention, expiry, auditable vacuuming (§VIII).
+
+The Code of Virginia requires records containing social security numbers
+to be shredded once expired; SOX requires them kept until then.  This
+example walks a PII relation through that whole life:
+
+retention policy → history accumulates → time passes → vacuum shreds
+expired versions (SHREDDED records on WORM first) → audit verifies each
+shred was legal → evidence itself disappears after the following audit.
+
+Run:  python examples/shredding_lifecycle.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (Auditor, ComplianceConfig, ComplianceMode, CompliantDB,
+                   DBConfig, Field, FieldType, Schema, SimulatedClock,
+                   minutes)
+
+PII = Schema("employees", [
+    Field("emp_id", FieldType.INT),
+    Field("name", FieldType.STR),
+    Field("ssn", FieldType.STR),
+], key_fields=["emp_id"])
+
+RETENTION = minutes(45)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-shredding-"))
+    clock = SimulatedClock()
+    db = CompliantDB.create(
+        workdir / "db", clock=clock, mode=ComplianceMode.LOG_CONSISTENT,
+        config=DBConfig(compliance=ComplianceConfig(
+            regret_interval=minutes(5))))
+    db.create_relation(PII)
+    db.set_retention("employees", RETENTION)
+    print(f"retention policy for 'employees': "
+          f"{db.shredder.retention_of('employees') // 60_000_000} minutes")
+
+    # -- history accumulates ------------------------------------------------
+    for emp in range(1, 6):
+        with db.transaction() as txn:
+            db.insert(txn, "employees", {"emp_id": emp,
+                                         "name": f"employee-{emp}",
+                                         "ssn": f"123-45-{emp:04d}"})
+    db.pass_time(minutes(10))
+    for emp in range(1, 6):
+        with db.transaction() as txn:
+            db.update(txn, "employees", {"emp_id": emp,
+                                         "name": f"employee-{emp}",
+                                         "ssn": "REDACTED"})
+    with db.transaction() as txn:
+        db.delete(txn, "employees", (5,))  # employee 5 leaves
+
+    print(f"versions of employee 1: "
+          f"{len(db.versions('employees', (1,)))} "
+          "(original SSN still recoverable — that's the point of "
+          "term-immutability)")
+
+    # -- premature vacuum shreds nothing -------------------------------------
+    report = db.vacuum()
+    print(f"\nvacuum before expiry: {report.shredded_live} versions "
+          "shredded (retention still running)")
+
+    # -- time passes; the originals expire ------------------------------------
+    db.pass_time(RETENTION + minutes(10))
+    report = db.vacuum()
+    print(f"vacuum after expiry: {report.shredded_live} versions "
+          f"shredded across {report.relations}")
+    history = db.versions("employees", (1,))
+    print(f"employee 1 history now: {len(history)} version(s); "
+          f"ssn={history[-1].row['ssn']}")
+    print(f"employee 5 (deleted + expired): "
+          f"{len(db.versions('employees', (5,)))} versions remain")
+
+    # -- the audit verifies every shred was legal ------------------------------
+    audit = Auditor(db).audit()
+    print(f"\naudit: {'COMPLIANT' if audit.ok else 'FAILED'}; "
+          f"{audit.shredded_verified} shreds verified against the Expiry "
+          "policy in force at shred time")
+
+    # -- the active records are never shredded ---------------------------------
+    assert db.get("employees", (1,))["ssn"] == "REDACTED"
+    print("\nactive records survive: current data is business state, "
+          "only expired history is destroyed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Benchmark-harness support: table formatting and workload builders."""
+
+from .report import bench_scale, bench_txns, emit, format_table
+from .workloads import REGRET, TXN_GAP, build_db, make_driver
+
+__all__ = ["REGRET", "TXN_GAP", "bench_scale", "bench_txns", "build_db",
+           "emit", "format_table", "make_driver"]

@@ -1,0 +1,68 @@
+"""Formatting and environment helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it as an ASCII table directly to the terminal (bypassing pytest's
+capture), so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+records the reproduced series alongside pytest-benchmark's timings.
+
+Scaling knobs (environment variables):
+
+* ``REPRO_BENCH_TXNS`` — transactions per run (default 400; the paper ran
+  100 000 on real hardware).
+* ``REPRO_BENCH_SCALE`` — ``tiny`` | ``small`` | ``medium`` TPC-C
+  population (default ``small``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from ..tpcc import TPCCScale
+
+
+def bench_txns(default: int = 400) -> int:
+    """Transactions per benchmark run."""
+    return int(os.environ.get("REPRO_BENCH_TXNS", default))
+
+
+def bench_scale() -> TPCCScale:
+    """TPC-C population for benchmark runs."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    factory = {"tiny": TPCCScale.tiny, "small": TPCCScale.small,
+               "medium": TPCCScale.medium, "full": TPCCScale.full}[name]
+    return factory()
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence], note: str = "") -> str:
+    """Render an ASCII table like the ones in the paper's evaluation."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"\n== {title} ==",
+             " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             sep]
+    lines.extend(" | ".join(c.ljust(w) for c, w in zip(row, widths))
+                 for row in rows)
+    if note:
+        lines.append(f"   note: {note}")
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def emit(capsys, text: str) -> None:
+    """Print to the real terminal even under pytest capture."""
+    if capsys is not None:
+        with capsys.disabled():
+            print(text)
+    else:  # pragma: no cover - direct script use
+        print(text)

@@ -1,0 +1,12 @@
+"""B+-trees: standard, time-split (TSB), and the structural integrity
+checker the auditor runs."""
+
+from .events import SplitEvent, TimeSplitEvent
+from .integrity import IntegrityIssue, check_leaf_entries, check_tree
+from .tree import MAX_START, MIN_START, BPlusTree
+from .tsb import TSBTree
+
+__all__ = [
+    "BPlusTree", "IntegrityIssue", "MAX_START", "MIN_START", "SplitEvent",
+    "TSBTree", "TimeSplitEvent", "check_leaf_entries", "check_tree",
+]

@@ -1,0 +1,56 @@
+"""Structure-change events emitted by the B+-trees.
+
+The compliance plugin subscribes to these to write PAGE_SPLIT and MIGRATE
+records to the compliance log (Sections V and VI): page splits must be
+replayable by the auditor, and time-split migrations move tuples out of the
+auditable live set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..storage.record import TupleVersion
+
+
+@dataclass
+class SplitEvent:
+    """A key split (or root split) of a data or index page.
+
+    ``old_pgno`` is the page that overflowed.  After the split its entries
+    live on ``left_pgno`` and ``right_pgno`` (for a non-root split the left
+    page reuses ``old_pgno``; a root split keeps the root page number and
+    moves everything into two fresh children).
+    """
+
+    relation_id: int
+    old_pgno: int
+    left_pgno: int
+    right_pgno: int
+    #: leaf splits: the tuple contents of both result pages
+    left_entries: List[TupleVersion] = field(default_factory=list)
+    right_entries: List[TupleVersion] = field(default_factory=list)
+    #: True when an index (internal) page split
+    is_index: bool = False
+    #: index page the separator was inserted into (the parent)
+    parent_pgno: int = -1
+    #: the separator (key, start) routed to the parent
+    sep: Optional[Tuple[bytes, int]] = None
+
+
+@dataclass
+class TimeSplitEvent:
+    """A time split migrated a leaf's historical versions toward WORM.
+
+    The engine performs the actual WORM write and hands back the file
+    reference; the event carries everything the auditor needs to verify the
+    migration (hist ∪ live == old state).
+    """
+
+    relation_id: int
+    leaf_pgno: int
+    split_time: int
+    hist_entries: List[TupleVersion] = field(default_factory=list)
+    live_entries: List[TupleVersion] = field(default_factory=list)
+    hist_ref: str = ""

@@ -1,0 +1,155 @@
+"""Structural integrity checking for B+-trees (Section IV-C).
+
+The auditor "must also check that the slot pointers on the page are set up
+correctly, the tuples are in sorted order across the pages …, the different
+versions of a tuple are all threaded together in commit-time order …, and
+all other stored metadata is correct", and that "the keys and pointers in
+internal nodes are consistent with the leaf nodes".  This module is that
+integrity checker.  It reads pages through a caller-supplied fetch function
+so the auditor can run it directly against the on-disk bytes, bypassing any
+in-memory state an adversary could not have touched anyway.
+
+The checks detect both attacks of Fig. 2: swapped leaf elements (sortedness
+violation) and tampered internal-node key values (parent/child bound
+violation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..common.errors import PageFormatError
+from ..storage.page import INTERNAL, LEAF, NO_PAGE, Page
+
+FetchPage = Callable[[int], Page]
+
+_Bound = Optional[Tuple[bytes, int]]
+
+
+@dataclass
+class IntegrityIssue:
+    """One structural problem found in a tree."""
+
+    pgno: int
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.kind}] page {self.pgno}: {self.detail}"
+
+
+def check_leaf_entries(page: Page) -> List[IntegrityIssue]:
+    """Per-page checks: strict (key, start) order ⇒ correct slot order and
+    version threading in commit-time order."""
+    issues: List[IntegrityIssue] = []
+    for i in range(1, len(page.entries)):
+        prev, cur = page.entries[i - 1], page.entries[i]
+        if prev.sort_key() >= cur.sort_key():
+            kind = ("version-threading"
+                    if prev.key == cur.key else "slot-order")
+            issues.append(IntegrityIssue(
+                page.pgno, kind,
+                f"entry {i - 1} !< entry {i} "
+                f"({prev.sort_key()} >= {cur.sort_key()})"))
+    return issues
+
+
+def check_tree(fetch: FetchPage, root_pgno: int) -> List[IntegrityIssue]:
+    """Full structural audit of one tree.
+
+    Verifies, for every reachable page: parseability, expected page type
+    and level, separator bounds (every child's contents lie inside the key
+    interval its parent routes to it), strict in-page ordering, global
+    left-to-right key order, and leaf sibling pointers consistent with the
+    in-order traversal.
+    """
+    issues: List[IntegrityIssue] = []
+    leaves_in_order: List[Page] = []
+
+    def walk(pgno: int, lo: _Bound, hi: _Bound,
+             expected_level: Optional[int]) -> None:
+        try:
+            page = fetch(pgno)
+        except PageFormatError as exc:
+            issues.append(IntegrityIssue(pgno, "unparseable", str(exc)))
+            return
+        if page.pgno != pgno:
+            issues.append(IntegrityIssue(
+                pgno, "pgno-mismatch",
+                f"page claims pgno {page.pgno}"))
+        if expected_level is not None and page.level != expected_level:
+            issues.append(IntegrityIssue(
+                pgno, "level",
+                f"expected level {expected_level}, found {page.level}"))
+        if page.ptype == INTERNAL:
+            if len(page.children) != len(page.seps) + 1:
+                issues.append(IntegrityIssue(
+                    pgno, "fanout",
+                    f"{len(page.children)} children for "
+                    f"{len(page.seps)} separators"))
+                return
+            for i in range(1, len(page.seps)):
+                if page.seps[i - 1] >= page.seps[i]:
+                    issues.append(IntegrityIssue(
+                        pgno, "sep-order",
+                        f"separator {i - 1} !< separator {i}"))
+            for i, sep in enumerate(page.seps):
+                if lo is not None and sep <= lo:
+                    issues.append(IntegrityIssue(
+                        pgno, "sep-bound",
+                        f"separator {i} below the parent's lower bound"))
+                if hi is not None and sep > hi:
+                    issues.append(IntegrityIssue(
+                        pgno, "sep-bound",
+                        f"separator {i} above the parent's upper bound"))
+            child_level = page.level - 1 if page.level > 0 else None
+            bounds = [lo] + list(page.seps) + [hi]
+            for i, child in enumerate(page.children):
+                walk(child, bounds[i], bounds[i + 1], child_level)
+        elif page.ptype == LEAF:
+            issues.extend(check_leaf_entries(page))
+            for i, entry in enumerate(page.entries):
+                sk = entry.sort_key()
+                if lo is not None and sk < lo:
+                    issues.append(IntegrityIssue(
+                        pgno, "key-bound",
+                        f"entry {i} sorts below the parent separator — "
+                        "the Fig. 2(c) attack surface"))
+                if hi is not None and sk >= hi:
+                    issues.append(IntegrityIssue(
+                        pgno, "key-bound",
+                        f"entry {i} sorts above the parent separator"))
+            leaves_in_order.append(page)
+        else:
+            issues.append(IntegrityIssue(
+                pgno, "page-type", f"unexpected page type {page.ptype}"))
+
+    root = fetch(root_pgno)
+    walk(root_pgno, None, None, root.level)
+
+    # leaf chain consistency with the in-order traversal
+    for i, leaf in enumerate(leaves_in_order):
+        want_prev = leaves_in_order[i - 1].pgno if i > 0 else NO_PAGE
+        want_next = (leaves_in_order[i + 1].pgno
+                     if i + 1 < len(leaves_in_order) else NO_PAGE)
+        if leaf.prev_leaf != want_prev:
+            issues.append(IntegrityIssue(
+                leaf.pgno, "leaf-chain",
+                f"prev pointer {leaf.prev_leaf}, expected {want_prev}"))
+        if leaf.next_leaf != want_next:
+            issues.append(IntegrityIssue(
+                leaf.pgno, "leaf-chain",
+                f"next pointer {leaf.next_leaf}, expected {want_next}"))
+    # cross-page global order
+    previous_last = None
+    for leaf in leaves_in_order:
+        if not leaf.entries:
+            continue
+        first = leaf.entries[0].sort_key()
+        if previous_last is not None and previous_last >= first:
+            issues.append(IntegrityIssue(
+                leaf.pgno, "cross-page-order",
+                "first entry does not sort after the previous leaf"))
+        previous_last = leaf.entries[-1].sort_key()
+    return issues

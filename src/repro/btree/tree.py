@@ -1,0 +1,448 @@
+"""A B+-tree over the buffer cache, storing tuple versions.
+
+Entries are :class:`~repro.storage.record.TupleVersion` objects ordered by
+``(key, start)``, so all versions of a tuple sit together in version order —
+the transaction-time layout of Section II where "the different versions of a
+tuple … are threaded together on the page".
+
+Design points relevant to the reproduction:
+
+* **The root page number never changes.**  A root split moves the root's
+  contents into two fresh children; the catalog can therefore store a
+  relation's root permanently.
+* **Split events** fire for every key/root split so the compliance plugin
+  can append PAGE_SPLIT records to the WORM log.
+* **Atomic flush groups**: every split registers the pages it touched with
+  the buffer cache so a crash can never expose a half-split tree (DESIGN.md
+  §6).
+* **No merge/rebalance on underflow** — like many production engines,
+  deletion (vacuum) leaves pages sparse; a page is reclaimed only when it
+  empties completely.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..common.errors import (DuplicateKeyError, KeyNotFoundError,
+                             PageFullError, StorageError)
+from ..storage.buffer import BufferCache
+from ..storage.page import INTERNAL, LEAF, NO_PAGE, Page
+from ..storage.record import TupleVersion
+from .events import SplitEvent
+
+MIN_START = -(2 ** 63)
+MAX_START = 2 ** 63 - 1
+
+SplitListener = Callable[[SplitEvent], None]
+
+
+def _pinned_op(method):
+    """Pin every page an operation touches; unpin on exit (reentrant)."""
+    def wrapper(self, *args, **kwargs):
+        outer = getattr(self, "_pinned_pgnos", None)
+        self._pinned_pgnos = []
+        try:
+            return method(self, *args, **kwargs)
+        finally:
+            for pgno in self._pinned_pgnos:
+                self._buffer.unpin(pgno)
+            self._pinned_pgnos = outer
+            if outer is None:
+                # outermost operation finished: nothing pinned by this
+                # tree, so over-capacity split groups can flush atomically
+                self._buffer.maybe_evict()
+    wrapper.__name__ = method.__name__
+    wrapper.__doc__ = method.__doc__
+    return wrapper
+
+
+class BPlusTree:
+    """One relation's primary storage structure."""
+
+    def __init__(self, buffer: BufferCache, root_pgno: int, page_size: int,
+                 relation_id: int, assign_seq: bool = False):
+        self._buffer = buffer
+        self.root_pgno = root_pgno
+        self._page_size = page_size
+        self.relation_id = relation_id
+        #: assign tuple order numbers on insert (hash-page-on-read mode)
+        self.assign_seq = assign_seq
+        self.split_listeners: List[SplitListener] = []
+
+    # -- class-level helpers ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, buffer: BufferCache, page_size: int, relation_id: int,
+               assign_seq: bool = False) -> "BPlusTree":
+        """Allocate an empty tree (a single empty leaf as the fixed root)."""
+        root = buffer.new_page(LEAF)
+        return cls(buffer, root.pgno, page_size, relation_id,
+                   assign_seq=assign_seq)
+
+    # -- descent ----------------------------------------------------------------------
+
+    def _descend(self, key: bytes, start: int
+                 ) -> Tuple[Page, List[Tuple[Page, int]]]:
+        """Walk root→leaf for (key, start); returns (leaf, internal path).
+
+        The path lists each internal page with the child index taken.
+        Pages on the path are pinned; callers must run inside
+        :meth:`_pinned` (all public methods do).
+        """
+        probe = (key, start)
+        page = self._get(self.root_pgno)
+        path: List[Tuple[Page, int]] = []
+        while page.is_internal():
+            idx = bisect_right(page.seps, probe)
+            path.append((page, idx))
+            page = self._get(page.children[idx])
+        return page, path
+
+    def _get(self, pgno: int) -> Page:
+        page = self._buffer.get(pgno)
+        self._buffer.pin(pgno)
+        self._pinned_pgnos.append(pgno)
+        return page
+
+    def _release(self, page: Page) -> None:
+        """Drop one pin early — used by chain walkers so a scan over a
+        long leaf chain never pins more than a couple of pages at once."""
+        try:
+            self._pinned_pgnos.remove(page.pgno)
+        except ValueError:
+            return
+        self._buffer.unpin(page.pgno)
+
+    # -- insertion ----------------------------------------------------------------------
+
+    @_pinned_op
+    def insert(self, record: TupleVersion) -> TupleVersion:
+        """Insert a tuple version; returns it (with any assigned seq).
+
+        Raises :class:`DuplicateKeyError` if an entry with the same
+        (key, start) exists.
+        """
+        if record.relation_id != self.relation_id:
+            raise StorageError(
+                f"tuple for relation {record.relation_id} inserted into "
+                f"tree of relation {self.relation_id}")
+        leaf, path = self._descend(record.key, record.start)
+        slot = leaf.find_slot(record.key, record.start)
+        if slot < len(leaf.entries) and \
+                leaf.entries[slot].sort_key() == record.sort_key():
+            raise DuplicateKeyError(
+                f"version (key={record.key!r}, start={record.start}) "
+                "already present")
+        if self.assign_seq:
+            record = record.with_seq(leaf.max_seq() + 1)
+        if not leaf.fits(self._page_size, extra=record.encoded_size()) and \
+                not leaf.entries:
+            raise PageFullError("tuple larger than a page")
+        leaf.entries.insert(slot, record)
+        self._buffer.mark_dirty(leaf)
+        if not leaf.fits(self._page_size):
+            self._split_leaf(leaf, path)
+        return record
+
+    # -- splits -------------------------------------------------------------------------
+
+    def _split_leaf(self, leaf: Page, path: List[Tuple[Page, int]]) -> None:
+        """Overflow handler; subclasses (TSB-tree) override the policy."""
+        self._key_split_leaf(leaf, path)
+
+    def _key_split_leaf(self, leaf: Page,
+                        path: List[Tuple[Page, int]]) -> None:
+        mid = len(leaf.entries) // 2
+        if leaf.pgno == self.root_pgno and not path:
+            # root leaf split: move everything into two fresh children
+            left = self._new_page(LEAF)
+            right = self._new_page(LEAF)
+            left.entries = leaf.entries[:mid]
+            right.entries = leaf.entries[mid:]
+            left.next_leaf, right.prev_leaf = right.pgno, left.pgno
+            sep = right.entries[0].sort_key()
+            leaf.ptype = INTERNAL
+            leaf.level = 1
+            leaf.entries = []
+            leaf.seps = [sep]
+            leaf.children = [left.pgno, right.pgno]
+            for page in (leaf, left, right):
+                self._buffer.mark_dirty(page)
+            self._buffer.note_group([leaf.pgno, left.pgno, right.pgno])
+            self._emit_split(SplitEvent(
+                relation_id=self.relation_id, old_pgno=leaf.pgno,
+                left_pgno=left.pgno, right_pgno=right.pgno,
+                left_entries=list(left.entries),
+                right_entries=list(right.entries),
+                parent_pgno=leaf.pgno, sep=sep))
+            return
+
+        sibling = self._new_page(LEAF)
+        sibling.entries = leaf.entries[mid:]
+        leaf.entries = leaf.entries[:mid]
+        sibling.next_leaf = leaf.next_leaf
+        sibling.prev_leaf = leaf.pgno
+        touched = [leaf.pgno, sibling.pgno]
+        if leaf.next_leaf != NO_PAGE:
+            old_next = self._get(leaf.next_leaf)
+            old_next.prev_leaf = sibling.pgno
+            self._buffer.mark_dirty(old_next)
+            touched.append(old_next.pgno)
+        leaf.next_leaf = sibling.pgno
+        sep = sibling.entries[0].sort_key()
+        for page in (leaf, sibling):
+            self._buffer.mark_dirty(page)
+        parent = path[-1][0]
+        self._emit_split(SplitEvent(
+            relation_id=self.relation_id, old_pgno=leaf.pgno,
+            left_pgno=leaf.pgno, right_pgno=sibling.pgno,
+            left_entries=list(leaf.entries),
+            right_entries=list(sibling.entries),
+            parent_pgno=parent.pgno, sep=sep))
+        self._insert_into_parent(path, sep, sibling.pgno, touched)
+
+    def _insert_into_parent(self, path: List[Tuple[Page, int]],
+                            sep: Tuple[bytes, int], child_pgno: int,
+                            touched: List[int]) -> None:
+        parent, idx = path[-1]
+        parent.seps.insert(idx, sep)
+        parent.children.insert(idx + 1, child_pgno)
+        self._buffer.mark_dirty(parent)
+        touched.append(parent.pgno)
+        self._buffer.note_group(touched)
+        if parent.fits(self._page_size):
+            return
+        self._split_internal(parent, path[:-1])
+
+    def _split_internal(self, node: Page,
+                        path: List[Tuple[Page, int]]) -> None:
+        mid = len(node.seps) // 2
+        up_sep = node.seps[mid]
+        if node.pgno == self.root_pgno and not path:
+            left = self._new_page(INTERNAL, level=node.level)
+            right = self._new_page(INTERNAL, level=node.level)
+            left.seps = node.seps[:mid]
+            left.children = node.children[:mid + 1]
+            right.seps = node.seps[mid + 1:]
+            right.children = node.children[mid + 1:]
+            node.level += 1
+            node.seps = [up_sep]
+            node.children = [left.pgno, right.pgno]
+            for page in (node, left, right):
+                self._buffer.mark_dirty(page)
+            self._buffer.note_group([node.pgno, left.pgno, right.pgno])
+            self._emit_split(SplitEvent(
+                relation_id=self.relation_id, old_pgno=node.pgno,
+                left_pgno=left.pgno, right_pgno=right.pgno, is_index=True,
+                parent_pgno=node.pgno, sep=up_sep))
+            return
+        sibling = self._new_page(INTERNAL, level=node.level)
+        sibling.seps = node.seps[mid + 1:]
+        sibling.children = node.children[mid + 1:]
+        node.seps = node.seps[:mid]
+        node.children = node.children[:mid + 1]
+        for page in (node, sibling):
+            self._buffer.mark_dirty(page)
+        parent = path[-1][0]
+        self._emit_split(SplitEvent(
+            relation_id=self.relation_id, old_pgno=node.pgno,
+            left_pgno=node.pgno, right_pgno=sibling.pgno, is_index=True,
+            parent_pgno=parent.pgno, sep=up_sep))
+        self._insert_into_parent(path, up_sep, sibling.pgno,
+                                 [node.pgno, sibling.pgno])
+
+    def _new_page(self, ptype: int, level: int = 0) -> Page:
+        page = self._buffer.new_page(ptype, level)
+        self._buffer.pin(page.pgno)
+        self._pinned_pgnos.append(page.pgno)
+        return page
+
+    def _emit_split(self, event: SplitEvent) -> None:
+        for listener in self.split_listeners:
+            listener(event)
+
+    # -- lookups ------------------------------------------------------------------------
+
+    @_pinned_op
+    def get_version(self, key: bytes, start: int) -> Optional[TupleVersion]:
+        """Exact (key, start) lookup."""
+        leaf, _ = self._descend(key, start)
+        slot = leaf.find_slot(key, start)
+        if slot < len(leaf.entries):
+            entry = leaf.entries[slot]
+            if entry.sort_key() == (key, start):
+                return entry
+        return None
+
+    @_pinned_op
+    def page_of(self, key: bytes, start: int) -> Optional[int]:
+        """Page number currently holding an exact version, or None."""
+        leaf, _ = self._descend(key, start)
+        slot = leaf.find_slot(key, start)
+        if slot < len(leaf.entries) and \
+                leaf.entries[slot].sort_key() == (key, start):
+            return leaf.pgno
+        return None
+
+    @_pinned_op
+    def versions(self, key: bytes) -> List[TupleVersion]:
+        """All stored versions of a key, ascending by start."""
+        leaf, _ = self._descend(key, MIN_START)
+        out: List[TupleVersion] = []
+        slot = leaf.find_slot(key, MIN_START)
+        while True:
+            while slot < len(leaf.entries):
+                entry = leaf.entries[slot]
+                if entry.key != key:
+                    return out
+                out.append(entry)
+                slot += 1
+            if leaf.next_leaf == NO_PAGE:
+                return out
+            next_leaf = self._get(leaf.next_leaf)
+            self._release(leaf)
+            leaf = next_leaf
+            slot = 0
+
+    @_pinned_op
+    def last_version(self, key: bytes) -> Optional[TupleVersion]:
+        """The version of ``key`` with the greatest start, if any."""
+        leaf, _ = self._descend(key, MAX_START)
+        slot = leaf.find_slot(key, MAX_START)
+        if slot > 0 and leaf.entries[slot - 1].key == key:
+            return leaf.entries[slot - 1]
+        # (key, MAX_START) may route past the key's versions when trailing
+        # entries were vacuumed; walk back over empty leaves if needed
+        if slot == 0:
+            while leaf.prev_leaf != NO_PAGE:
+                leaf = self._get(leaf.prev_leaf)
+                if leaf.entries:
+                    if leaf.entries[-1].key == key:
+                        return leaf.entries[-1]
+                    return None
+        return None
+
+    @_pinned_op
+    def range_scan(self, lo_key: bytes,
+                   hi_key: Optional[bytes]) -> List[TupleVersion]:
+        """All versions with lo_key <= key < hi_key (hi None = unbounded)."""
+        leaf, _ = self._descend(lo_key, MIN_START)
+        out: List[TupleVersion] = []
+        slot = leaf.find_slot(lo_key, MIN_START)
+        while True:
+            while slot < len(leaf.entries):
+                entry = leaf.entries[slot]
+                if hi_key is not None and entry.key >= hi_key:
+                    return out
+                out.append(entry)
+                slot += 1
+            if leaf.next_leaf == NO_PAGE:
+                return out
+            next_leaf = self._get(leaf.next_leaf)
+            self._release(leaf)
+            leaf = next_leaf
+            slot = 0
+
+    @_pinned_op
+    def iter_entries(self) -> List[TupleVersion]:
+        """Every entry in the tree, in (key, start) order."""
+        leaf, _ = self._descend(b"", MIN_START)
+        out: List[TupleVersion] = []
+        while True:
+            out.extend(leaf.entries)
+            if leaf.next_leaf == NO_PAGE:
+                return out
+            next_leaf = self._get(leaf.next_leaf)
+            self._release(leaf)
+            leaf = next_leaf
+
+    # -- mutation of existing entries --------------------------------------------------------
+
+    @_pinned_op
+    def remove(self, key: bytes, start: int) -> TupleVersion:
+        """Physically remove a version (abort undo / vacuum).
+
+        Raises :class:`KeyNotFoundError` if absent.
+        """
+        leaf, _ = self._descend(key, start)
+        slot = leaf.find_slot(key, start)
+        if slot >= len(leaf.entries) or \
+                leaf.entries[slot].sort_key() != (key, start):
+            raise KeyNotFoundError(
+                f"version (key={key!r}, start={start}) not found")
+        entry = leaf.entries.pop(slot)
+        self._buffer.mark_dirty(leaf)
+        return entry
+
+    @_pinned_op
+    def stamp(self, key: bytes, txn_start: int,
+              commit_time: int) -> TupleVersion:
+        """Lazy timestamping: replace a txn-id start with the commit time.
+
+        The entry is mutated in place (same slot); the engine's write-write
+        conflict rule guarantees the slot position stays sorted.
+        """
+        leaf, _ = self._descend(key, txn_start)
+        slot = leaf.find_slot(key, txn_start)
+        if slot >= len(leaf.entries) or \
+                leaf.entries[slot].sort_key() != (key, txn_start):
+            raise KeyNotFoundError(
+                f"unstamped version (key={key!r}, start={txn_start}) "
+                "not found")
+        stamped = leaf.entries[slot].stamp(commit_time)
+        before_ok = slot == 0 or \
+            leaf.entries[slot - 1].sort_key() < stamped.sort_key()
+        after_ok = slot + 1 >= len(leaf.entries) or \
+            stamped.sort_key() < leaf.entries[slot + 1].sort_key()
+        if not (before_ok and after_ok):
+            raise StorageError(
+                "stamping would break page sort order; schedule violated "
+                "the write-write conflict rule")
+        leaf.entries[slot] = stamped
+        self._buffer.mark_dirty(leaf)
+        return stamped
+
+    # -- structure inspection -------------------------------------------------------------------
+
+    @_pinned_op
+    def leaf_pgnos(self) -> List[int]:
+        """Page numbers of all leaves, left to right."""
+        leaf, _ = self._descend(b"", MIN_START)
+        out = [leaf.pgno]
+        while leaf.next_leaf != NO_PAGE:
+            next_leaf = self._get(leaf.next_leaf)
+            self._release(leaf)
+            leaf = next_leaf
+            out.append(leaf.pgno)
+        return out
+
+    @_pinned_op
+    def all_pgnos(self) -> List[int]:
+        """Page numbers of every page in the tree (BFS order)."""
+        out: List[int] = []
+        queue = [self.root_pgno]
+        while queue:
+            pgno = queue.pop(0)
+            out.append(pgno)
+            page = self._get(pgno)
+            if page.is_internal():
+                queue.extend(page.children)
+            self._release(page)
+        return out
+
+    @_pinned_op
+    def height(self) -> int:
+        """Levels from root to leaf (1 for a single-leaf tree)."""
+        page = self._get(self.root_pgno)
+        levels = 1
+        while page.is_internal():
+            page = self._get(page.children[0])
+            levels += 1
+        return levels
+
+    def entry_count(self) -> int:
+        """Total entries in the tree."""
+        return len(self.iter_entries())

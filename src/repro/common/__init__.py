@@ -1,0 +1,33 @@
+"""Shared infrastructure: errors, simulated time, configuration, codecs."""
+
+from .clock import (MICROS_PER_DAY, MICROS_PER_HOUR, MICROS_PER_MINUTE,
+                    MICROS_PER_SECOND, MICROS_PER_YEAR, SimulatedClock, days,
+                    minutes, seconds, years)
+from .codec import Field, FieldType, Schema, decode_key, encode_key
+from .config import (ComplianceConfig, ComplianceMode, DBConfig, EngineConfig,
+                     DEFAULT_PAGE_SIZE)
+from .errors import (AuditError, BufferError_, CodecError, ComplianceError,
+                     ComplianceHaltError, ComplianceLogError, ConfigError,
+                     DuplicateKeyError, KeyNotFoundError, LockConflictError,
+                     PageFormatError, PageFullError, PageNotFoundError,
+                     RecoveryError, ReproError, ShreddingError, SnapshotError,
+                     StorageError, TransactionAborted, TransactionError,
+                     TransactionStateError, WalError, WormError,
+                     WormFileExistsError, WormFileNotFoundError,
+                     WormViolationError)
+
+__all__ = [
+    "AuditError", "BufferError_", "CodecError", "ComplianceConfig",
+    "ComplianceError", "ComplianceHaltError", "ComplianceLogError",
+    "ComplianceMode", "ConfigError", "DBConfig", "DEFAULT_PAGE_SIZE",
+    "DuplicateKeyError", "EngineConfig", "Field", "FieldType",
+    "KeyNotFoundError", "LockConflictError", "MICROS_PER_DAY",
+    "MICROS_PER_HOUR", "MICROS_PER_MINUTE", "MICROS_PER_SECOND",
+    "MICROS_PER_YEAR", "PageFormatError", "PageFullError",
+    "PageNotFoundError", "RecoveryError", "ReproError", "Schema",
+    "ShreddingError", "SimulatedClock", "SnapshotError", "StorageError",
+    "TransactionAborted", "TransactionError", "TransactionStateError",
+    "WalError", "WormError", "WormFileExistsError", "WormFileNotFoundError",
+    "WormViolationError", "days", "decode_key", "encode_key", "minutes",
+    "seconds", "years",
+]

@@ -1,0 +1,281 @@
+"""Schema-driven tuple codec and order-preserving key encoding.
+
+The storage engine stores tuple payloads as opaque bytes inside slotted
+pages; the B+-tree compares keys as raw bytes.  This module supplies the two
+codecs that make that work:
+
+* :class:`Schema` — a named, typed record layout.  ``encode_payload`` /
+  ``decode_payload`` round-trip a field dict through a compact struct-based
+  binary form.
+* :func:`encode_key` / :func:`decode_key` — an **order-preserving** encoding
+  for composite keys, so that ``encode_key(a) < encode_key(b)`` iff ``a < b``
+  under natural tuple ordering.  B+-tree pages can then compare keys with
+  plain ``bytes`` comparison.
+
+Supported field types are 64-bit ints, doubles, UTF-8 strings, and raw
+bytes — enough for TPC-C and the Expiry relation.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from .errors import CodecError
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+
+_SIGN_OFFSET = 1 << 63  # maps signed 64-bit ints onto unsigned, order kept
+
+_TAG_INT = 0x01
+_TAG_STR = 0x02
+_TAG_BYTES = 0x03
+_TAG_FLOAT = 0x04
+
+_TERMINATOR = b"\x00\x00"
+_ESCAPED_ZERO = b"\x00\xff"
+
+
+class FieldType(enum.Enum):
+    """Type of a schema field."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    BYTES = "bytes"
+
+
+@dataclass(frozen=True)
+class Field:
+    """A single named, typed column of a relation."""
+
+    name: str
+    ftype: FieldType
+
+
+class Schema:
+    """A relation's column layout plus its primary-key column set.
+
+    ``key_fields`` name the columns (in order) that form the primary key.
+    The key columns are *also* stored in the payload, so a decoded payload is
+    self-contained; the redundant key bytes are small and keep page parsing
+    simple for the compliance plugin.
+    """
+
+    def __init__(self, name: str, fields: Sequence[Field],
+                 key_fields: Sequence[str]):
+        if not fields:
+            raise CodecError(f"schema {name!r} has no fields")
+        self.name = name
+        self.fields: Tuple[Field, ...] = tuple(fields)
+        self._by_name: Dict[str, Field] = {f.name: f for f in self.fields}
+        if len(self._by_name) != len(self.fields):
+            raise CodecError(f"schema {name!r} has duplicate field names")
+        missing = [k for k in key_fields if k not in self._by_name]
+        if missing:
+            raise CodecError(f"schema {name!r}: key fields {missing} "
+                             "are not columns")
+        if not key_fields:
+            raise CodecError(f"schema {name!r} has an empty primary key")
+        self.key_fields: Tuple[str, ...] = tuple(key_fields)
+
+    # -- payload ------------------------------------------------------------
+
+    def encode_payload(self, values: Dict[str, Any]) -> bytes:
+        """Encode a full row dict into compact bytes (schema field order)."""
+        parts: List[bytes] = []
+        for field in self.fields:
+            try:
+                value = values[field.name]
+            except KeyError:
+                raise CodecError(
+                    f"{self.name}: missing field {field.name!r}") from None
+            parts.append(_encode_field(field, value, self.name))
+        return b"".join(parts)
+
+    def decode_payload(self, data: bytes) -> Dict[str, Any]:
+        """Decode bytes produced by :meth:`encode_payload` back to a dict."""
+        values: Dict[str, Any] = {}
+        offset = 0
+        for field in self.fields:
+            value, offset = _decode_field(field, data, offset, self.name)
+            values[field.name] = value
+        if offset != len(data):
+            raise CodecError(
+                f"{self.name}: {len(data) - offset} trailing bytes")
+        return values
+
+    # -- keys ---------------------------------------------------------------
+
+    def key_of(self, values: Dict[str, Any]) -> Tuple[Any, ...]:
+        """Extract the primary-key tuple from a row dict."""
+        try:
+            return tuple(values[k] for k in self.key_fields)
+        except KeyError as exc:
+            raise CodecError(
+                f"{self.name}: row is missing key field {exc}") from None
+
+    def encode_key_from_row(self, values: Dict[str, Any]) -> bytes:
+        """Extract and order-preservingly encode a row's primary key."""
+        return encode_key(self.key_of(values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f.name for f in self.fields)
+        return f"Schema({self.name!r}, [{cols}], key={self.key_fields})"
+
+
+def _encode_field(field: Field, value: Any, rel: str) -> bytes:
+    if field.ftype is FieldType.INT:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise CodecError(f"{rel}.{field.name}: expected int, "
+                             f"got {type(value).__name__}")
+        return _I64.pack(value)
+    if field.ftype is FieldType.FLOAT:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise CodecError(f"{rel}.{field.name}: expected float, "
+                             f"got {type(value).__name__}")
+        return _F64.pack(float(value))
+    if field.ftype is FieldType.STR:
+        if not isinstance(value, str):
+            raise CodecError(f"{rel}.{field.name}: expected str, "
+                             f"got {type(value).__name__}")
+        raw = value.encode("utf-8")
+        return _U32.pack(len(raw)) + raw
+    if field.ftype is FieldType.BYTES:
+        if not isinstance(value, (bytes, bytearray)):
+            raise CodecError(f"{rel}.{field.name}: expected bytes, "
+                             f"got {type(value).__name__}")
+        raw = bytes(value)
+        return _U32.pack(len(raw)) + raw
+    raise CodecError(f"unknown field type {field.ftype}")
+
+
+def _decode_field(field: Field, data: bytes, offset: int,
+                  rel: str) -> Tuple[Any, int]:
+    try:
+        if field.ftype is FieldType.INT:
+            return _I64.unpack_from(data, offset)[0], offset + 8
+        if field.ftype is FieldType.FLOAT:
+            return _F64.unpack_from(data, offset)[0], offset + 8
+        length = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        raw = data[offset:offset + length]
+        if len(raw) != length:
+            raise CodecError(f"{rel}.{field.name}: truncated value")
+        if field.ftype is FieldType.STR:
+            return raw.decode("utf-8"), offset + length
+        return bytes(raw), offset + length
+    except struct.error as exc:
+        raise CodecError(f"{rel}.{field.name}: truncated payload") from exc
+
+
+# --------------------------------------------------------------------------
+# Order-preserving key encoding
+# --------------------------------------------------------------------------
+
+
+def encode_key(values: Iterable[Any]) -> bytes:
+    """Encode a tuple of key values so byte order equals tuple order.
+
+    Ints map to big-endian unsigned with the sign offset applied; strings and
+    bytes are zero-escaped and terminated so that prefixes sort first; floats
+    use the standard sign-flip trick on their IEEE-754 bits.
+    """
+    parts: List[bytes] = []
+    for value in values:
+        if isinstance(value, bool):
+            raise CodecError("bool is not a supported key type")
+        if isinstance(value, int):
+            parts.append(bytes([_TAG_INT]))
+            parts.append((value + _SIGN_OFFSET).to_bytes(8, "big"))
+        elif isinstance(value, str):
+            parts.append(bytes([_TAG_STR]))
+            parts.append(_escape(value.encode("utf-8")))
+        elif isinstance(value, (bytes, bytearray)):
+            parts.append(bytes([_TAG_BYTES]))
+            parts.append(_escape(bytes(value)))
+        elif isinstance(value, float):
+            if value != value:  # NaN has no total order: reject
+                raise CodecError("NaN is not a valid key component")
+            parts.append(bytes([_TAG_FLOAT]))
+            parts.append(_float_key_bits(value))
+        else:
+            raise CodecError(
+                f"unsupported key component type {type(value).__name__}")
+    return b"".join(parts)
+
+
+def decode_key(data: bytes) -> Tuple[Any, ...]:
+    """Invert :func:`encode_key`."""
+    values: List[Any] = []
+    offset = 0
+    length = len(data)
+    while offset < length:
+        tag = data[offset]
+        offset += 1
+        if tag == _TAG_INT:
+            if offset + 8 > length:
+                raise CodecError("truncated int key component")
+            values.append(
+                int.from_bytes(data[offset:offset + 8], "big") - _SIGN_OFFSET)
+            offset += 8
+        elif tag in (_TAG_STR, _TAG_BYTES):
+            raw, offset = _unescape(data, offset)
+            values.append(raw.decode("utf-8") if tag == _TAG_STR else raw)
+        elif tag == _TAG_FLOAT:
+            if offset + 8 > length:
+                raise CodecError("truncated float key component")
+            values.append(_float_from_key_bits(data[offset:offset + 8]))
+            offset += 8
+        else:
+            raise CodecError(f"unknown key tag 0x{tag:02x}")
+    return tuple(values)
+
+
+def _escape(raw: bytes) -> bytes:
+    """Escape zero bytes and append the two-byte terminator."""
+    return raw.replace(b"\x00", _ESCAPED_ZERO) + _TERMINATOR
+
+
+def _unescape(data: bytes, offset: int) -> Tuple[bytes, int]:
+    out = bytearray()
+    length = len(data)
+    while offset < length:
+        byte = data[offset]
+        if byte != 0x00:
+            out.append(byte)
+            offset += 1
+            continue
+        if offset + 1 >= length:
+            raise CodecError("truncated escaped key component")
+        follow = data[offset + 1]
+        if follow == 0x00:
+            return bytes(out), offset + 2
+        if follow == 0xFF:
+            out.append(0x00)
+            offset += 2
+            continue
+        raise CodecError(f"bad escape sequence 0x00 0x{follow:02x}")
+    raise CodecError("unterminated key component")
+
+
+def _float_key_bits(value: float) -> bytes:
+    bits = struct.unpack(">Q", struct.pack(">d", float(value)))[0]
+    if bits & (1 << 63):
+        bits ^= 0xFFFFFFFFFFFFFFFF  # negative: flip everything
+    else:
+        bits ^= 1 << 63  # positive: flip sign bit only
+    return bits.to_bytes(8, "big")
+
+
+def _float_from_key_bits(raw: bytes) -> float:
+    bits = int.from_bytes(raw, "big")
+    if bits & (1 << 63):
+        bits ^= 1 << 63
+    else:
+        bits ^= 0xFFFFFFFFFFFFFFFF
+    return struct.unpack(">d", struct.pack(">Q", bits))[0]

@@ -1,0 +1,95 @@
+"""Configuration dataclasses for the storage engine and compliance layer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .clock import minutes, years
+from .errors import ConfigError
+
+DEFAULT_PAGE_SIZE = 4096
+MIN_PAGE_SIZE = 256
+
+
+class ComplianceMode(enum.Enum):
+    """Which architecture variant a :class:`~repro.core.database.CompliantDB`
+    runs in.
+
+    * ``REGULAR`` — plain transaction-time DBMS; no compliance log.  This is
+      the paper's "native Berkeley DB" baseline.
+    * ``LOG_CONSISTENT`` — Section IV: NEW_TUPLE/STAMP_TRANS/ABORT/UNDO
+      records go to the compliance log on WORM; snapshot-based audits.
+    * ``HASH_ON_READ`` — Section V refinement: additionally hash every page
+      read from disk (READ records) and log PAGE_SPLIT contents, enabling
+      query-result verification at audit time.
+    """
+
+    REGULAR = "regular"
+    LOG_CONSISTENT = "log-consistent"
+    HASH_ON_READ = "hash-on-read"
+
+
+@dataclass
+class EngineConfig:
+    """Storage-engine knobs (the Berkeley-DB-equivalent layer)."""
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    buffer_pages: int = 256
+    #: eagerly stamp commit times into tuples at commit, instead of the
+    #: paper's lazy timestamping (transaction IDs fixed up later).
+    eager_timestamping: bool = False
+    #: fsync data/log files on flush.  Off by default: the reproduction runs
+    #: on scratch dirs and simulated crashes never rely on the OS cache.
+    sync_writes: bool = False
+    #: simulated seconds per data-page I/O (see Pager.io_delay); the
+    #: benchmarks use this to restore the paper's I/O-vs-CPU cost balance
+    io_delay_seconds: float = 0.0
+    #: run the lazy stamper opportunistically once this many stamps are
+    #: pending (0 disables; checkpoints and audits always drain the queue)
+    stamper_batch: int = 64
+
+    def validate(self) -> None:
+        if self.page_size < MIN_PAGE_SIZE:
+            raise ConfigError(f"page_size must be >= {MIN_PAGE_SIZE}")
+        if self.buffer_pages < 8:
+            raise ConfigError("buffer_pages must be >= 8")
+
+
+@dataclass
+class ComplianceConfig:
+    """Compliance-layer knobs (the paper's contribution)."""
+
+    mode: ComplianceMode = ComplianceMode.LOG_CONSISTENT
+    #: minimum time between a tuple's commit and any tampering attempt
+    #: (Section II).  Dirty pages must reach disk — and hence their
+    #: NEW_TUPLE records must reach WORM — within one regret interval.
+    regret_interval: int = minutes(5)
+    #: default retention period for WORM files (snapshots, logs).
+    worm_retention: int = years(7)
+    #: migrate historical pages of time-split B+-trees to WORM (Section VI).
+    worm_migration: bool = False
+    #: key-vs-time split threshold for time-split B+-trees (Section VI):
+    #: if distinct-keys/tuples on a leaf is below the threshold, key-split,
+    #: otherwise time-split.
+    split_threshold: float = 0.5
+
+    def validate(self) -> None:
+        if self.regret_interval <= 0:
+            raise ConfigError("regret_interval must be positive")
+        if self.worm_retention <= 0:
+            raise ConfigError("worm_retention must be positive")
+        if not 0.0 <= self.split_threshold <= 1.0:
+            raise ConfigError("split_threshold must be in [0, 1]")
+
+
+@dataclass
+class DBConfig:
+    """Top-level configuration for a compliant database instance."""
+
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    compliance: ComplianceConfig = field(default_factory=ComplianceConfig)
+
+    def validate(self) -> None:
+        self.engine.validate()
+        self.compliance.validate()

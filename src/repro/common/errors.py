@@ -1,0 +1,145 @@
+"""Exception hierarchy for the compliant DBMS reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Sub-hierarchies mirror the subsystems: storage, WORM, WAL,
+transactions, compliance, and auditing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class CodecError(ReproError):
+    """A payload could not be encoded or decoded against its schema."""
+
+
+# --------------------------------------------------------------------------
+# Storage engine
+# --------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class PageFormatError(StorageError):
+    """A page's on-disk bytes are malformed (bad magic, offsets, slots)."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit on a page; the caller must split the page."""
+
+
+class PageNotFoundError(StorageError):
+    """A page number does not exist in the backing file."""
+
+
+class BufferError_(StorageError):
+    """The buffer cache could not satisfy a request (e.g. all pages pinned)."""
+
+
+class KeyNotFoundError(StorageError):
+    """A lookup key is absent from a B+-tree."""
+
+
+class DuplicateKeyError(StorageError):
+    """An exact (key, start-time) entry already exists in a B+-tree."""
+
+
+class RelationNotFoundError(StorageError):
+    """The named relation does not exist (or has been dropped)."""
+
+
+# --------------------------------------------------------------------------
+# WORM server
+# --------------------------------------------------------------------------
+
+
+class WormError(ReproError):
+    """Base class for WORM server failures."""
+
+
+class WormViolationError(WormError):
+    """An operation would violate term-immutability (overwrite, early delete).
+
+    The simulated WORM server raises this instead of performing the
+    operation, mirroring the paper's trusted compliance storage server that
+    "never overwrites a file during its retention period".
+    """
+
+
+class WormFileExistsError(WormError):
+    """Attempt to create a WORM file under a name that already exists."""
+
+
+class WormFileNotFoundError(WormError):
+    """The requested WORM file does not exist."""
+
+
+# --------------------------------------------------------------------------
+# WAL / transactions
+# --------------------------------------------------------------------------
+
+
+class WalError(ReproError):
+    """Base class for write-ahead-log failures."""
+
+
+class RecoveryError(WalError):
+    """Crash recovery encountered an inconsistent log."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-manager failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was rolled back (deadlock, explicit abort, error)."""
+
+
+class LockConflictError(TransactionError):
+    """A lock could not be granted."""
+
+
+class TransactionStateError(TransactionError):
+    """Operation invalid for the transaction's current state."""
+
+
+# --------------------------------------------------------------------------
+# Compliance layer
+# --------------------------------------------------------------------------
+
+
+class ComplianceError(ReproError):
+    """Base class for compliance-layer failures."""
+
+
+class ComplianceLogError(ComplianceError):
+    """The compliance log on WORM is malformed or cannot be written."""
+
+
+class ComplianceHaltError(ComplianceError):
+    """Transaction processing must halt: the compliance log is unwritable.
+
+    Section IV of the paper: "If at any point we are unable to write to L,
+    transaction processing must halt until the problem is fixed."
+    """
+
+
+class SnapshotError(ComplianceError):
+    """A snapshot on WORM is missing, malformed, or its signature is bad."""
+
+
+class AuditError(ComplianceError):
+    """The audit itself could not be carried out (distinct from findings)."""
+
+
+class ShreddingError(ComplianceError):
+    """The vacuum/shredding protocol was violated."""

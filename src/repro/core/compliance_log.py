@@ -1,0 +1,103 @@
+"""The compliance log ``L`` — an append-only file per audit epoch on WORM.
+
+Lifecycle (Section IV): the log for the current epoch receives every
+compliance record; at audit time "the current file for L is permanently
+closed [sealed], a new one is opened".  Old epochs become deletable once
+their retention lapses after the following audit.
+
+Alongside each epoch's log lives the **auxiliary stamp index**: "the
+compliance logger creates an auxiliary WORM log file listing the
+transaction ID and location in L of each STAMP_TRANS record", which lets
+the auditor build its txn→commit-time table without a preliminary scan of
+the (much larger) main log.
+
+If the WORM server cannot be written, :class:`ComplianceHaltError` is
+raised and transaction processing must halt — exactly the paper's rule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..common.errors import ComplianceHaltError, WormError
+from ..worm import WormServer
+from .records import (AuxStampEntry, CLogRecord, CLogType, iter_aux,
+                      iter_records)
+
+
+def log_name(epoch: int) -> str:
+    """WORM file name of an epoch's compliance log."""
+    return f"clog/epoch-{epoch:06d}.log"
+
+
+def aux_name(epoch: int) -> str:
+    """WORM file name of an epoch's auxiliary stamp index."""
+    return f"clog/epoch-{epoch:06d}.aux"
+
+
+class ComplianceLog:
+    """Writer/reader for one epoch of ``L`` plus its stamp index."""
+
+    def __init__(self, worm: WormServer, epoch: int,
+                 retention: Optional[int] = None):
+        self.worm = worm
+        self.epoch = epoch
+        self._retention = retention
+        for name in (self.name, self.aux):
+            if not worm.exists(name):
+                worm.create_append_file(name, retention=retention)
+
+    @property
+    def name(self) -> str:
+        """Main log file name."""
+        return log_name(self.epoch)
+
+    @property
+    def aux(self) -> str:
+        """Auxiliary stamp-index file name."""
+        return aux_name(self.epoch)
+
+    # -- writing --------------------------------------------------------------
+
+    def append(self, record: CLogRecord) -> int:
+        """Append one record; returns its offset in L.
+
+        STAMP_TRANS records are also indexed in the auxiliary log.
+        """
+        try:
+            offset = self.worm.append(self.name, record.to_bytes())
+            if record.rtype == CLogType.STAMP_TRANS:
+                entry = AuxStampEntry(record.txn_id, offset,
+                                      record.commit_time, record.heartbeat)
+                self.worm.append(self.aux, entry.to_bytes())
+            return offset
+        except WormError as exc:
+            raise ComplianceHaltError(
+                "compliance log unwritable — transaction processing must "
+                f"halt: {exc}") from exc
+
+    def seal(self) -> None:
+        """Permanently close this epoch's files (audit completion)."""
+        self.worm.seal(self.name)
+        self.worm.seal(self.aux)
+
+    # -- reading --------------------------------------------------------------
+
+    def records(self) -> Iterator[Tuple[int, CLogRecord]]:
+        """(offset, record) pairs for the whole epoch so far."""
+        return iter_records(self.worm.read(self.name))
+
+    def aux_entries(self) -> List[AuxStampEntry]:
+        """Parsed auxiliary stamp index."""
+        return list(iter_aux(self.worm.read(self.aux)))
+
+    def size(self) -> int:
+        """Bytes appended to L so far (the §VII(a) space metric)."""
+        return self.worm.size(self.name)
+
+    def record_counts(self) -> dict:
+        """Histogram of record types (used by the space benchmarks)."""
+        counts: dict = {}
+        for _, record in self.records():
+            counts[record.rtype.name] = counts.get(record.rtype.name, 0) + 1
+        return counts

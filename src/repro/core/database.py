@@ -1,0 +1,318 @@
+"""The compliant database facade — the paper's architecture, assembled.
+
+:class:`CompliantDB` wires together the storage engine, the WORM server,
+the compliance plugin, and the epoch bookkeeping:
+
+* ``REGULAR`` mode is the paper's baseline ("native Berkeley DB"): just the
+  transaction-time engine, no compliance logging.
+* ``LOG_CONSISTENT`` adds the Section IV architecture: compliance log on
+  WORM, signed snapshots, WAL tail mirrored to WORM, witness files,
+  auditable crash recovery.
+* ``HASH_ON_READ`` further enables the Section V refinement: tuple order
+  numbers, READ_HASH records for every page read from disk, PAGE_SPLIT
+  content logging — giving a finite query verification interval.
+
+WORM migration (Section VI) is orthogonal: enable it via
+``ComplianceConfig.worm_migration`` and relations are stored in time-split
+B+-trees whose history migrates to WORM pages.
+
+Layout on disk::
+
+    <path>/db/    the engine (data.db, wal.log, histdir.json)
+    <path>/worm/  the simulated WORM volume (compliance log epochs,
+                  snapshots, witness files, WAL mirror, historical pages)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from ..common.clock import SimulatedClock
+from ..common.codec import Schema
+from ..common.config import ComplianceMode, DBConfig
+from ..common.errors import ConfigError
+from ..crypto import AuditorKey
+from ..temporal.engine import Engine, RecoveryReport
+from ..worm import WormServer
+from .compliance_log import ComplianceLog
+from .holds import HOLDS_SCHEMA, HoldManager
+from .plugin import CompliancePlugin
+from .shredding import EXPIRY_RELATION, EXPIRY_SCHEMA, Shredder
+from .snapshot import write_snapshot
+
+
+def wal_mirror_name(epoch: int) -> str:
+    """WORM file name of an epoch's transaction-log mirror."""
+    return f"txnlog/epoch-{epoch:06d}.log"
+
+
+class CompliantDB:
+    """A term-immutable database instance."""
+
+    def __init__(self, path: os.PathLike, clock: SimulatedClock,
+                 mode: ComplianceMode, config: DBConfig,
+                 auditor_key: AuditorKey, _create: bool):
+        self.path = Path(path)
+        self.clock = clock
+        self.mode = mode
+        self.config = config
+        self.auditor_key = auditor_key
+        config.validate()
+
+        self.worm = WormServer(self.path / "worm", clock,
+                               default_retention=config.compliance
+                               .worm_retention)
+        engine_cls = Engine.create if _create else Engine.open
+        self.engine = engine_cls(
+            self.path / "db", clock, config=config.engine, worm=self.worm,
+            assign_seq=(mode is ComplianceMode.HASH_ON_READ),
+            worm_migration=config.compliance.worm_migration,
+            split_threshold=config.compliance.split_threshold,
+            worm_retention=config.compliance.worm_retention)
+
+        self.plugin: Optional[CompliancePlugin] = None
+        self.clog: Optional[ComplianceLog] = None
+        self._was_clean = self.engine.was_clean_shutdown() or _create
+
+        if _create:
+            self._write_mode_marker()
+            meta = self.engine.buffer.get(0)
+            meta.meta["audit_epoch"] = 1
+            self.engine.buffer.mark_dirty(meta)
+        else:
+            self._check_mode_marker()
+
+        if mode is not ComplianceMode.REGULAR:
+            self.clog = ComplianceLog(self.worm, self.epoch,
+                                      retention=config.compliance
+                                      .worm_retention)
+            self.plugin = CompliancePlugin(
+                self.engine, self.clog, mode,
+                config.compliance.regret_interval,
+                witness_retention=config.compliance.worm_retention)
+            self.plugin.attach()
+            if not _create:
+                self.plugin.load_epoch_state()
+            self.engine.wal.set_worm_mirror(
+                self.worm, wal_mirror_name(self.epoch),
+                retention=config.compliance.worm_retention)
+
+        self.shredder = Shredder(self)
+        self.holds = HoldManager(self)
+
+        if _create:
+            if mode is not ComplianceMode.REGULAR:
+                # genesis snapshot: the signed, empty state opening epoch 1
+                self.engine.checkpoint()
+                write_snapshot(self.worm, auditor_key, self.engine,
+                               epoch=1,
+                               retention=config.compliance.worm_retention)
+            self.engine.create_relation(EXPIRY_SCHEMA, use_tsb=False)
+            self.engine.create_relation(HOLDS_SCHEMA, use_tsb=False)
+            self.engine.run_stamper()
+            self.engine.checkpoint()
+
+    # -- construction ---------------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: os.PathLike,
+               clock: Optional[SimulatedClock] = None,
+               mode: ComplianceMode = ComplianceMode.LOG_CONSISTENT,
+               config: Optional[DBConfig] = None,
+               auditor_key: Optional[AuditorKey] = None) -> "CompliantDB":
+        """Create a fresh compliant database at ``path``."""
+        return cls(path, clock or SimulatedClock(), mode,
+                   config or DBConfig(),
+                   auditor_key or AuditorKey.generate(), _create=True)
+
+    @classmethod
+    def open(cls, path: os.PathLike, clock: SimulatedClock,
+             auditor_key: Optional[AuditorKey] = None) -> "CompliantDB":
+        """Re-open an existing database (mode and config come from its
+        marker file, so the page size and compliance parameters always
+        match what the database was created with).
+
+        Call :meth:`recover` afterwards; it is a no-op after a clean
+        shutdown and performs auditable crash recovery otherwise.
+        """
+        marker = json.loads((Path(path) / "mode.json").read_text())
+        mode = ComplianceMode(marker["mode"])
+        from dataclasses import fields as dc_fields
+        engine_cfg = {f.name: marker["engine"][f.name]
+                      for f in dc_fields(type(DBConfig().engine))}
+        compliance_cfg = dict(marker["compliance"])
+        compliance_cfg["mode"] = ComplianceMode(compliance_cfg["mode"])
+        config = DBConfig(
+            engine=type(DBConfig().engine)(**engine_cfg),
+            compliance=type(DBConfig().compliance)(**compliance_cfg))
+        return cls(path, clock, mode, config,
+                   auditor_key or AuditorKey.generate(), _create=False)
+
+    def _write_mode_marker(self) -> None:
+        from dataclasses import asdict
+        engine = asdict(self.config.engine)
+        compliance = asdict(self.config.compliance)
+        compliance["mode"] = self.config.compliance.mode.value
+        (self.path / "mode.json").write_text(json.dumps(
+            {"mode": self.mode.value, "engine": engine,
+             "compliance": compliance}))
+
+    def _check_mode_marker(self) -> None:
+        marker = json.loads((self.path / "mode.json").read_text())
+        if ComplianceMode(marker["mode"]) is not self.mode:
+            raise ConfigError(
+                f"database was created in mode {marker['mode']!r}")
+
+    # -- epoch bookkeeping -------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The current audit epoch (starts at 1)."""
+        return self.engine.buffer.get(0).meta["audit_epoch"]
+
+    def rotate_epoch(self) -> int:
+        """Advance to the next epoch (called by the auditor after success).
+        """
+        meta = self.engine.buffer.get(0)
+        new_epoch = meta.meta["audit_epoch"] + 1
+        meta.meta["audit_epoch"] = new_epoch
+        self.engine.buffer.mark_dirty(meta)
+        if self.mode is not ComplianceMode.REGULAR:
+            self.clog.seal()
+            self.clog = ComplianceLog(self.worm, new_epoch,
+                                      retention=self.config.compliance
+                                      .worm_retention)
+            self.plugin.rotate_epoch(self.clog)
+            self.worm.seal(wal_mirror_name(new_epoch - 1))
+            self.engine.wal.truncate()
+            self.engine.wal.set_worm_mirror(
+                self.worm, wal_mirror_name(new_epoch),
+                retention=self.config.compliance.worm_retention)
+        self.engine.checkpoint()
+        return new_epoch
+
+    # -- data API (delegation) -----------------------------------------------------------
+
+    def begin(self):
+        """Start a transaction."""
+        return self.engine.begin()
+
+    def commit(self, txn) -> int:
+        """Commit a transaction; returns the commit time."""
+        return self.engine.commit(txn)
+
+    def abort(self, txn) -> None:
+        """Roll back a transaction."""
+        self.engine.abort(txn)
+
+    def transaction(self):
+        """Context manager: commit on success, abort on exception."""
+        return self.engine.transaction()
+
+    def create_relation(self, schema: Schema,
+                        use_tsb: Optional[bool] = None):
+        """Create a relation (transaction-time, audited)."""
+        return self.engine.create_relation(schema, use_tsb=use_tsb)
+
+    def insert(self, txn, relation: str, row: Dict[str, Any]) -> None:
+        """Insert a tuple."""
+        self.engine.insert(txn, relation, row)
+
+    def update(self, txn, relation: str, row: Dict[str, Any]) -> None:
+        """Write a new version of an existing tuple."""
+        self.engine.update(txn, relation, row)
+
+    def delete(self, txn, relation: str, key: Tuple[Any, ...]) -> None:
+        """Logically delete a tuple (end-of-life version)."""
+        self.engine.delete(txn, relation, key)
+
+    def get(self, relation: str, key: Tuple[Any, ...], txn=None,
+            at: Optional[int] = None) -> Optional[Dict[str, Any]]:
+        """Read a row, current or as of a past time."""
+        return self.engine.get(relation, key, txn=txn, at=at)
+
+    def scan(self, relation: str, lo=None, hi=None, txn=None,
+             at: Optional[int] = None):
+        """Range scan of visible rows."""
+        return self.engine.scan(relation, lo=lo, hi=hi, txn=txn, at=at)
+
+    def versions(self, relation: str, key: Tuple[Any, ...]):
+        """Full version history of a key (live tree + WORM pages)."""
+        return self.engine.versions(relation, key)
+
+    def set_retention(self, relation: str, period: int) -> None:
+        """Record a relation's retention period in the Expiry relation."""
+        self.shredder.set_retention(relation, period)
+
+    def vacuum(self):
+        """Shred expired tuples (Section VIII); returns a VacuumReport."""
+        return self.shredder.vacuum()
+
+    def place_hold(self, relation: str, key: Optional[Tuple] = None,
+                   case_ref: str = "") -> int:
+        """Place a litigation hold: the tuple (or whole relation) becomes
+        unshreddable until the hold is released, even after expiry."""
+        return self.holds.place(relation, key=key, case_ref=case_ref)
+
+    def release_hold(self, hold_id: int) -> None:
+        """Release a litigation hold (the hold's history is preserved)."""
+        self.holds.release(hold_id)
+
+    # -- maintenance / lifecycle ----------------------------------------------------------
+
+    def maintenance(self, force: bool = False) -> bool:
+        """Regret-interval duties: checkpoint, witness file, heartbeat.
+
+        Call this from the driver loop; it is a no-op until a regret
+        interval has elapsed since the last one (unless forced).
+        """
+        if self.plugin is None:
+            return False
+        return self.plugin.maintenance(force=force)
+
+    def pass_time(self, duration: int) -> None:
+        """Advance the simulated clock through ``duration``, running
+        maintenance each regret interval so liveness witnesses exist."""
+        interval = self.config.compliance.regret_interval
+        remaining = duration
+        while remaining > 0:
+            step = min(interval, remaining)
+            self.clock.advance(step)
+            remaining -= step
+            self.maintenance()
+
+    def prepare_for_audit(self) -> None:
+        """Quiesce for audit: drain transactions, stamps, dirty pages."""
+        self.engine.quiesce()
+
+    def crash(self) -> None:
+        """Simulate a process crash (volatile state vanishes)."""
+        self.engine.crash()
+        self._was_clean = False
+
+    def recover(self) -> RecoveryReport:
+        """Auditable crash recovery (a true no-op after a clean shutdown).
+
+        After a clean shutdown nothing is replayed at all: replaying the
+        WAL against a quiesced database would silently *repair* any
+        tampering an adversary performed while the DBMS was down, masking
+        it from the audit.  Only an actual crash warrants recovery.
+        """
+        if self._was_clean:
+            return RecoveryReport()
+        if self.plugin is not None:
+            self.plugin.begin_recovery()
+            report = self.engine.recover(
+                on_outcomes=self.plugin.recovery_outcomes)
+            self.shredder.finish_pending()
+        else:
+            report = self.engine.recover()
+        self._was_clean = True
+        return report
+
+    def close(self) -> None:
+        """Clean shutdown."""
+        self.engine.close()

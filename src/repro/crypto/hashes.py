@@ -1,0 +1,180 @@
+"""Cryptographic hash constructions from the paper.
+
+Three constructions are used by the compliance architecture:
+
+* ``h`` — a plain big one-way hash ("512 bits or more"); we use SHA-512.
+* :class:`AddHash` — Bellare–Micciancio's **ADD-HASH** incremental,
+  commutative multiset hash:  ``ADD_HASH(a1..an) = Σ h(ai) mod 2^512``.
+  The auditor uses it to check the tuple completeness condition
+  ``Df = Ds ∪ L`` in a single unsorted pass (Section IV-A).
+* :class:`SeqHash` — the sequential page hash ``Hs`` used by the
+  hash-page-on-read refinement (Section V).  The paper defines
+  ``Hs(r1..rn) = H(h(r1), H(r2..rn))``; we implement the equivalent
+  left-fold chain ``s_i = sha512(s_{i-1} || h(r_i))`` so that appending a
+  tuple to a page updates the hash in O(1), which is exactly the incremental
+  replay the auditor performs while scanning the compliance log.
+
+All digests are 64 bytes.  :class:`AddHash` additionally supports
+*subtraction*, which the auditor uses when recomputing snapshot-page hashes
+after vacuuming (Section VIII).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+DIGEST_BYTES = 64
+_MODULUS = 1 << (DIGEST_BYTES * 8)
+_MASK = _MODULUS - 1
+
+
+def h(data: bytes) -> bytes:
+    """The underlying big one-way hash (SHA-512)."""
+    return hashlib.sha512(data).digest()
+
+
+def h_int(data: bytes) -> int:
+    """``h`` interpreted as an unsigned integer (for ADD-HASH sums)."""
+    return int.from_bytes(hashlib.sha512(data).digest(), "big")
+
+
+class AddHash:
+    """Incremental, commutative, pre-image-resistant multiset hash.
+
+    Properties required by Section IV-A:
+
+    * *incremental*: ``add`` is O(1) given the running value;
+    * *commutative*: insertion order never affects the digest;
+    * *secure*: finding a different multiset with the same digest requires
+      breaking the underlying modular-sum construction (Bellare–Micciancio).
+
+    The hash is over a **multiset**: adding the same item twice is different
+    from adding it once.  ``remove`` subtracts an item, enabling the
+    vacuum-aware snapshot recomputation of Section VIII.
+    """
+
+    __slots__ = ("_acc", "_count")
+
+    def __init__(self, items: Iterable[bytes] = ()):
+        self._acc = 0
+        self._count = 0
+        for item in items:
+            self.add(item)
+
+    def add(self, item: bytes) -> "AddHash":
+        """Fold one item into the multiset hash."""
+        self._acc = (self._acc + h_int(item)) & _MASK
+        self._count += 1
+        return self
+
+    def remove(self, item: bytes) -> "AddHash":
+        """Subtract one item (modular inverse of :meth:`add`)."""
+        self._acc = (self._acc - h_int(item)) & _MASK
+        self._count -= 1
+        return self
+
+    def union(self, other: "AddHash") -> "AddHash":
+        """Return the hash of the multiset union of two hashed multisets."""
+        merged = AddHash()
+        merged._acc = (self._acc + other._acc) & _MASK
+        merged._count = self._count + other._count
+        return merged
+
+    @property
+    def count(self) -> int:
+        """Number of items folded in (adds minus removes)."""
+        return self._count
+
+    def digest(self) -> bytes:
+        """The 64-byte multiset digest."""
+        return self._acc.to_bytes(DIGEST_BYTES, "big")
+
+    def hexdigest(self) -> str:
+        """Hex form of :meth:`digest`."""
+        return self.digest().hex()
+
+    def copy(self) -> "AddHash":
+        """An independent copy of the running state."""
+        dup = AddHash()
+        dup._acc = self._acc
+        dup._count = self._count
+        return dup
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AddHash):
+            return NotImplemented
+        return self._acc == other._acc and self._count == other._count
+
+    def __hash__(self) -> int:
+        return hash((self._acc, self._count))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AddHash(count={self._count}, digest={self.hexdigest()[:16]}…)"
+
+
+_SEQ_IV = h(b"repro.SeqHash.iv")
+
+
+class SeqHash:
+    """Sequential (order-sensitive) hash chain ``Hs`` over page tuples.
+
+    Used by hash-page-on-read: tuples on a page are ordered by their *tuple
+    order number* and chained.  Equal digests imply (collision resistance
+    aside) the same tuples in the same order.
+    """
+
+    __slots__ = ("_state", "_count")
+
+    def __init__(self, items: Iterable[bytes] = ()):
+        self._state = _SEQ_IV
+        self._count = 0
+        for item in items:
+            self.add(item)
+
+    def add(self, item: bytes) -> "SeqHash":
+        """Chain one more item onto the sequence."""
+        self._state = hashlib.sha512(self._state + h(item)).digest()
+        self._count += 1
+        return self
+
+    @property
+    def count(self) -> int:
+        """Number of items chained so far."""
+        return self._count
+
+    def digest(self) -> bytes:
+        """The 64-byte chain digest."""
+        return self._state
+
+    def hexdigest(self) -> str:
+        """Hex form of :meth:`digest`."""
+        return self._state.hex()
+
+    def copy(self) -> "SeqHash":
+        """An independent copy of the running chain state."""
+        dup = SeqHash()
+        dup._state = self._state
+        dup._count = self._count
+        return dup
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SeqHash):
+            return NotImplemented
+        return self._state == other._state
+
+    def __hash__(self) -> int:
+        return hash(self._state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SeqHash(count={self._count}, digest={self.hexdigest()[:16]}…)"
+
+
+def seq_hash(items: Iterable[bytes]) -> bytes:
+    """One-shot ``Hs`` over an ordered iterable of encoded tuples."""
+    return SeqHash(items).digest()
+
+
+def add_hash(items: Iterable[bytes]) -> bytes:
+    """One-shot ADD-HASH over an iterable of encoded tuples."""
+    return AddHash(items).digest()

@@ -1,0 +1,58 @@
+"""Auditor signatures over snapshots and audit certificates.
+
+The paper has the auditor place a digital signature on WORM testifying that
+a snapshot (or the stored ``H(Df ∪ L)`` value) is correct.  The protocol only
+needs that the *adversary* — who does not hold the auditor's key — cannot
+forge or alter a signed statement without detection.  We therefore model the
+signature with HMAC-SHA512 keyed by the auditor's secret; this is a
+documented substitution for a public-key signature (see DESIGN.md) and gives
+the same in-simulation unforgeability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from ..common.errors import SnapshotError
+
+SIGNATURE_BYTES = 64
+
+
+class AuditorKey:
+    """An auditor's signing identity.
+
+    ``name`` identifies the auditor in signed artefacts; ``secret`` is the
+    private signing key.  Anyone holding the same :class:`AuditorKey` can
+    verify; the threat model's adversary (a DBMS-side superuser) does not.
+    """
+
+    def __init__(self, name: str, secret: bytes):
+        if not secret:
+            raise SnapshotError("auditor secret must be non-empty")
+        self.name = name
+        self._secret = bytes(secret)
+
+    @classmethod
+    def generate(cls, name: str = "auditor") -> "AuditorKey":
+        """Derive a deterministic per-name key (convenient for tests)."""
+        return cls(name, hashlib.sha512(b"repro.auditor." +
+                                        name.encode("utf-8")).digest())
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign ``message``; returns a 64-byte signature."""
+        return hmac.new(self._secret, message, hashlib.sha512).digest()
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Constant-time verification of a signature over ``message``."""
+        return hmac.compare_digest(self.sign(message), bytes(signature))
+
+    def require_valid(self, message: bytes, signature: bytes,
+                      what: str = "artifact") -> None:
+        """Raise :class:`SnapshotError` unless the signature verifies."""
+        if not self.verify(message, signature):
+            raise SnapshotError(
+                f"signature check failed for {what} (auditor {self.name!r})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AuditorKey(name={self.name!r})"

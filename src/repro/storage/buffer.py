@@ -1,0 +1,239 @@
+"""Buffer cache: LRU page caching with steal and atomic flush groups.
+
+The cache parses pages on miss (pread) and serialises them on flush
+(pwrite); both directions run through the :class:`~repro.storage.pager.Pager`
+hooks that the compliance plugin taps.
+
+Two behaviours matter to the paper's protocol:
+
+* **steal** — dirty pages of uncommitted transactions may reach disk.  The
+  regret-interval checkpoint ("calling db_checkpoint once every regret
+  interval", Section VII) flushes *all* dirty pages, so the compliance log
+  can contain NEW_TUPLE records for transactions that later abort; the
+  ABORT/UNDO machinery exists precisely for this.
+* **atomic structure groups** — a B+-tree split dirties several pages
+  (leaf, new sibling, parent).  Flushing some but not all of them across a
+  crash would physically corrupt the tree, which real engines prevent with
+  physiological redo.  This reproduction instead flushes *split groups
+  atomically*: the tree registers the set of pages a split touched, and
+  flushing any member flushes them all, WAL-first.  See DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from ..common.errors import BufferError_, PageNotFoundError
+from .page import FREE, Page
+from .pager import Pager
+
+BeforeFlushHook = Callable[[Page], None]
+
+
+class BufferStats:
+    """Cache counters used by the benchmarks (hit ratio drives Fig. 3)."""
+
+    __slots__ = ("hits", "misses", "flushes", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+        self.evictions = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of page requests served from memory."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = self.misses = self.flushes = self.evictions = 0
+
+
+class BufferCache:
+    """LRU cache of parsed pages over a :class:`Pager`."""
+
+    def __init__(self, pager: Pager, capacity_pages: int):
+        self._pager = pager
+        self._capacity = capacity_pages
+        self._pages: "OrderedDict[int, Page]" = OrderedDict()
+        self._pins: Dict[int, int] = {}
+        #: pgno -> group id; pages in one group flush together
+        self._group_of: Dict[int, int] = {}
+        self._groups: Dict[int, Set[int]] = {}
+        self._next_group = 1
+        #: invoked with a page right before it is serialised to disk;
+        #: the engine flushes the WAL up to page.lsn here
+        self.before_flush: Optional[BeforeFlushHook] = None
+        self.stats = BufferStats()
+
+    # -- access ------------------------------------------------------------------
+
+    def get(self, pgno: int) -> Page:
+        """Fetch a page, reading and parsing it on a cache miss."""
+        page = self._pages.get(pgno)
+        if page is not None:
+            self._pages.move_to_end(pgno)
+            self.stats.hits += 1
+            return page
+        raw = self._pager.read_page(pgno)  # pread (hooks fire)
+        page = Page.from_bytes(raw)
+        if page.pgno != pgno:
+            raise PageNotFoundError(
+                f"page {pgno} on disk claims pgno {page.pgno}")
+        self.stats.misses += 1
+        # make room first: the page being added must not be the eviction
+        # victim before the caller has had a chance to pin it
+        self._evict_as_needed()
+        self._pages[pgno] = page
+        return page
+
+    def new_page(self, ptype: int, level: int = 0) -> Page:
+        """Allocate a fresh page and cache it dirty."""
+        pgno = self._pager.allocate()
+        page = Page(pgno, ptype, level)
+        page.dirty = True
+        self._evict_as_needed()
+        self._pages[pgno] = page
+        return page
+
+    def free_page(self, pgno: int) -> None:
+        """Mark a page as FREE (vacated); it is rewritten on next flush."""
+        page = self.get(pgno)
+        page.ptype = FREE
+        page.entries = []
+        page.seps = []
+        page.children = []
+        page.hist_refs = []
+        page.dirty = True
+
+    # -- pinning -----------------------------------------------------------------
+
+    def pin(self, pgno: int) -> None:
+        """Prevent a page from being evicted while an operation holds it."""
+        self._pins[pgno] = self._pins.get(pgno, 0) + 1
+
+    def unpin(self, pgno: int) -> None:
+        """Release one pin on a page."""
+        count = self._pins.get(pgno, 0)
+        if count <= 1:
+            self._pins.pop(pgno, None)
+        else:
+            self._pins[pgno] = count - 1
+
+    # -- dirtiness & groups --------------------------------------------------------
+
+    def mark_dirty(self, page: Page) -> None:
+        """Flag a cached page as modified."""
+        page.dirty = True
+
+    def note_group(self, pgnos: Iterable[int]) -> None:
+        """Register pages that must flush atomically (a split's footprint).
+
+        Overlapping groups merge, so chained splits (leaf → parent → root)
+        form one group.
+        """
+        members = set(pgnos)
+        gids = {self._group_of[p] for p in members if p in self._group_of}
+        for gid in gids:
+            members |= self._groups.pop(gid)
+        gid = self._next_group
+        self._next_group += 1
+        self._groups[gid] = members
+        for pgno in members:
+            self._group_of[pgno] = gid
+
+    # -- flushing ---------------------------------------------------------------
+
+    def flush_page(self, pgno: int) -> None:
+        """Flush one page (and its whole atomic group) to disk."""
+        gid = self._group_of.get(pgno)
+        members = sorted(self._groups.pop(gid)) if gid is not None \
+            else [pgno]
+        for member in members:
+            self._group_of.pop(member, None)
+        for member in members:
+            page = self._pages.get(member)
+            if page is None or not page.dirty:
+                continue
+            if self.before_flush is not None:
+                self.before_flush(page)
+            raw = page.to_bytes(self._pager.page_size)
+            self._pager.write_page(member, raw)  # pwrite (hooks fire)
+            page.dirty = False
+            self.stats.flushes += 1
+
+    def flush_all(self) -> int:
+        """Checkpoint: flush every dirty page.  Returns pages flushed."""
+        dirty = [pgno for pgno, page in self._pages.items() if page.dirty]
+        for pgno in dirty:
+            self.flush_page(pgno)
+        return len(dirty)
+
+    def dirty_pgnos(self) -> List[int]:
+        """Page numbers of currently dirty cached pages."""
+        return [pgno for pgno, page in self._pages.items() if page.dirty]
+
+    # -- crash simulation ----------------------------------------------------------
+
+    def drop_all(self) -> None:
+        """Discard the whole cache without flushing — the crash primitive.
+
+        Everything not yet flushed is lost, exactly as if the DBMS process
+        died; recovery must reconstruct from the WAL and the disk image.
+        """
+        self._pages.clear()
+        self._pins.clear()
+        self._groups.clear()
+        self._group_of.clear()
+
+    # -- eviction -----------------------------------------------------------------
+
+    def maybe_evict(self) -> None:
+        """Shrink back to capacity; called by the tree after each operation.
+
+        Mid-operation evictions skip pinned pages and any atomic group with
+        a pinned member, so the cache can temporarily exceed capacity while
+        a split is in flight; this end-of-operation sweep (no pins held)
+        restores the bound, flushing split groups atomically.
+        """
+        self._evict_as_needed()
+
+    def _evict_as_needed(self) -> None:
+        if len(self._pages) <= self._capacity:
+            return
+        # pass 1: evict clean unpinned pages, LRU first
+        for pgno in list(self._pages):
+            if len(self._pages) <= self._capacity:
+                return
+            page = self._pages[pgno]
+            if page.dirty or self._pins.get(pgno):
+                continue
+            del self._pages[pgno]
+            self.stats.evictions += 1
+        # pass 2: steal — flush LRU dirty unpinned pages, then evict them.
+        # A page whose atomic group contains a pinned member is skipped:
+        # the group may be mid-split and not yet serialisable.
+        for pgno in list(self._pages):
+            if len(self._pages) <= self._capacity:
+                return
+            if self._pins.get(pgno):
+                continue
+            if pgno not in self._pages:
+                continue  # flushed away as part of an earlier group
+            gid = self._group_of.get(pgno)
+            if gid is not None and any(self._pins.get(member)
+                                       for member in self._groups[gid]):
+                continue
+            self.flush_page(pgno)
+            if pgno in self._pages and not self._pages[pgno].dirty:
+                del self._pages[pgno]
+                self.stats.evictions += 1
+        # every remaining page pinned: allow temporary overflow rather than
+        # failing the operation mid-flight
+        if len(self._pages) > self._capacity * 4:
+            raise BufferError_(
+                "buffer cache wildly over capacity with all pages pinned")

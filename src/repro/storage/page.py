@@ -1,0 +1,256 @@
+"""Slotted pages: the on-disk unit the compliance plugin inspects.
+
+A :class:`Page` is the parsed, in-memory form of one fixed-size disk page.
+The buffer cache hands :class:`Page` objects to the B+-tree layer; ``pread``
+parses raw bytes into a page and ``pwrite`` serialises it back.  The
+compliance plugin works on the *raw bytes* at the pread/pwrite seam and
+re-parses them with :meth:`Page.from_bytes`, exactly like the paper's plugin
+that "parses the page [and] finds the tuples that are present in the
+buffer-cache page but not on the disk page".
+
+Page kinds
+----------
+* ``LEAF`` — sorted :class:`~repro.storage.record.TupleVersion` entries plus
+  (for time-split B+-trees) the chain of WORM references to historical pages
+  split off this leaf.
+* ``INTERNAL`` — separator keys and child page numbers.
+* ``META`` — page 0: engine bootstrap metadata (catalog root, freelist).
+* ``FREE`` — vacated page awaiting reuse.
+
+The physical order of leaf entries *is* the slot order: a legitimate engine
+always stores them sorted by (key, start), so the auditor's page-integrity
+check (Section IV-C) verifies sortedness, version threading, and header
+consistency directly against the stored order.  The attack of Fig. 2(b) —
+swapping two leaf elements — is expressible by reordering the stored
+records.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..common.errors import PageFormatError
+from .record import TupleVersion
+
+PAGE_MAGIC = 0xD81B
+
+META = 0
+LEAF = 1
+INTERNAL = 2
+FREE = 3
+
+NO_PAGE = -1
+
+_HEADER = struct.Struct("<HBBiHHiiQ")
+# magic, type, level, pgno, count, flags, next, prev, lsn
+HEADER_SIZE = _HEADER.size
+
+_FLAG_HISTORICAL = 0x01
+
+_SEP_HEADER = struct.Struct("<Hqi")   # key length, start, child pgno
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_I32 = struct.Struct("<i")
+
+
+class Page:
+    """Parsed form of one disk page."""
+
+    __slots__ = ("pgno", "ptype", "level", "historical", "next_leaf",
+                 "prev_leaf", "lsn", "entries", "seps", "children",
+                 "hist_refs", "meta", "dirty")
+
+    def __init__(self, pgno: int, ptype: int, level: int = 0):
+        self.pgno = pgno
+        self.ptype = ptype
+        self.level = level
+        self.historical = False
+        self.next_leaf = NO_PAGE
+        self.prev_leaf = NO_PAGE
+        self.lsn = 0
+        #: leaf pages: TupleVersion entries in slot (sorted) order
+        self.entries: List[TupleVersion] = []
+        #: internal pages: separator (key, start) pairs; len(children) ==
+        #: len(seps) + 1
+        self.seps: List[Tuple[bytes, int]] = []
+        self.children: List[int] = []
+        #: leaf pages of time-split trees: WORM file names of historical
+        #: pages split off this leaf, oldest first
+        self.hist_refs: List[str] = []
+        #: META page: JSON-serialisable bootstrap dict
+        self.meta: Dict[str, Any] = {}
+        self.dirty = False
+
+    # -- predicates -----------------------------------------------------------
+
+    def is_leaf(self) -> bool:
+        """Whether this is a leaf page."""
+        return self.ptype == LEAF
+
+    def is_internal(self) -> bool:
+        """Whether this is an internal index page."""
+        return self.ptype == INTERNAL
+
+    # -- size accounting --------------------------------------------------------
+
+    def content_size(self) -> int:
+        """Bytes this page's content occupies when serialised (sans header)."""
+        if self.ptype == LEAF:
+            size = _U16.size  # hist_refs count
+            size += sum(_U16.size + len(r.encode("utf-8"))
+                        for r in self.hist_refs)
+            size += sum(e.encoded_size() for e in self.entries)
+            return size
+        if self.ptype == INTERNAL:
+            size = _I32.size  # leftmost child
+            size += sum(_SEP_HEADER.size + len(key) for key, _ in self.seps)
+            return size
+        if self.ptype == META:
+            return _U32.size + len(self._meta_json())
+        return 0
+
+    def fits(self, page_size: int, extra: int = 0) -> bool:
+        """Whether content plus ``extra`` additional bytes fits the page."""
+        return HEADER_SIZE + self.content_size() + extra <= page_size
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_bytes(self, page_size: int) -> bytes:
+        """Serialise to exactly ``page_size`` bytes (zero padded)."""
+        if self.ptype == LEAF:
+            count = len(self.entries)
+            body_parts: List[bytes] = [_U16.pack(len(self.hist_refs))]
+            for ref in self.hist_refs:
+                raw = ref.encode("utf-8")
+                body_parts.append(_U16.pack(len(raw)))
+                body_parts.append(raw)
+            body_parts.extend(e.to_bytes() for e in self.entries)
+            body = b"".join(body_parts)
+        elif self.ptype == INTERNAL:
+            count = len(self.seps)
+            if len(self.children) != count + 1:
+                raise PageFormatError(
+                    f"internal page {self.pgno}: {len(self.children)} "
+                    f"children for {count} separators")
+            body_parts = [_I32.pack(self.children[0])]
+            for (key, start), child in zip(self.seps, self.children[1:]):
+                body_parts.append(_SEP_HEADER.pack(len(key), start, child))
+                body_parts.append(key)
+            body = b"".join(body_parts)
+        elif self.ptype == META:
+            raw = self._meta_json()
+            count = 0
+            body = _U32.pack(len(raw)) + raw
+        else:  # FREE
+            count = 0
+            body = b""
+
+        flags = _FLAG_HISTORICAL if self.historical else 0
+        header = _HEADER.pack(PAGE_MAGIC, self.ptype, self.level, self.pgno,
+                              count, flags, self.next_leaf, self.prev_leaf,
+                              self.lsn)
+        raw_page = header + body
+        if len(raw_page) > page_size:
+            raise PageFormatError(
+                f"page {self.pgno} content ({len(raw_page)} B) exceeds page "
+                f"size {page_size}")
+        return raw_page + b"\x00" * (page_size - len(raw_page))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Page":
+        """Parse raw page bytes; raises PageFormatError on malformed input."""
+        try:
+            magic, ptype, level, pgno, count, flags, nxt, prv, lsn = \
+                _HEADER.unpack_from(data, 0)
+        except struct.error as exc:
+            raise PageFormatError("page shorter than header") from exc
+        if magic != PAGE_MAGIC:
+            raise PageFormatError(
+                f"bad page magic 0x{magic:04x} (page corrupt or not a page)")
+        page = cls(pgno, ptype, level)
+        page.historical = bool(flags & _FLAG_HISTORICAL)
+        page.next_leaf = nxt
+        page.prev_leaf = prv
+        page.lsn = lsn
+        offset = HEADER_SIZE
+        if ptype == LEAF:
+            (nrefs,) = _U16.unpack_from(data, offset)
+            offset += _U16.size
+            for _ in range(nrefs):
+                (rlen,) = _U16.unpack_from(data, offset)
+                offset += _U16.size
+                page.hist_refs.append(
+                    data[offset:offset + rlen].decode("utf-8"))
+                offset += rlen
+            for _ in range(count):
+                entry, offset = TupleVersion.from_bytes(data, offset)
+                page.entries.append(entry)
+        elif ptype == INTERNAL:
+            (leftmost,) = _I32.unpack_from(data, offset)
+            offset += _I32.size
+            page.children.append(leftmost)
+            for _ in range(count):
+                klen, start, child = _SEP_HEADER.unpack_from(data, offset)
+                offset += _SEP_HEADER.size
+                key = bytes(data[offset:offset + klen])
+                if len(key) != klen:
+                    raise PageFormatError(
+                        f"page {pgno}: truncated separator key")
+                offset += klen
+                page.seps.append((key, start))
+                page.children.append(child)
+        elif ptype == META:
+            (jlen,) = _U32.unpack_from(data, offset)
+            offset += _U32.size
+            raw = data[offset:offset + jlen]
+            if len(raw) != jlen:
+                raise PageFormatError("truncated meta page")
+            try:
+                page.meta = json.loads(raw.decode("utf-8"))
+            except ValueError as exc:
+                raise PageFormatError("meta page JSON corrupt") from exc
+        elif ptype != FREE:
+            raise PageFormatError(f"unknown page type {ptype}")
+        return page
+
+    def _meta_json(self) -> bytes:
+        return json.dumps(self.meta, sort_keys=True).encode("utf-8")
+
+    # -- leaf helpers -------------------------------------------------------------
+
+    def max_seq(self) -> int:
+        """Largest tuple order number currently on this leaf (0 if empty).
+
+        The compliance logger "finds the largest tuple order number on that
+        page [and] increments it" when assigning the next one (Section V).
+        """
+        return max((e.seq for e in self.entries), default=0)
+
+    def find_slot(self, key: bytes, start: int) -> int:
+        """Binary-search the slot index for (key, start); insertion point."""
+        lo, hi = 0, len(self.entries)
+        probe = (key, start)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.entries[mid].sort_key() < probe:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = {META: "meta", LEAF: "leaf", INTERNAL: "internal",
+                FREE: "free"}.get(self.ptype, "?")
+        n = len(self.entries) if self.ptype == LEAF else len(self.seps)
+        return f"Page(pgno={self.pgno}, {kind}, n={n})"
+
+
+def parse_page_tuples(raw: bytes) -> List[TupleVersion]:
+    """Parse raw page bytes and return its tuples (empty for non-leaves).
+
+    Convenience for the compliance plugin, which only cares about tuples.
+    """
+    page = Page.from_bytes(raw)
+    return list(page.entries) if page.is_leaf() else []

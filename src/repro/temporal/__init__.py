@@ -1,0 +1,14 @@
+"""The transaction-time storage engine: catalog, history, engine."""
+
+from .catalog import (CATALOG_RELATION_ID, CATALOG_SCHEMA, RelationInfo,
+                      schema_from_json, schema_to_json)
+from .engine import Engine, RecoveryReport, VersionView
+from .history import (HistoricalDirectory, HistPageRef, decode_hist_page,
+                      encode_hist_page)
+
+__all__ = [
+    "CATALOG_RELATION_ID", "CATALOG_SCHEMA", "Engine",
+    "HistoricalDirectory", "HistPageRef", "RecoveryReport", "RelationInfo",
+    "VersionView", "decode_hist_page", "encode_hist_page",
+    "schema_from_json", "schema_to_json",
+]

@@ -1,0 +1,79 @@
+"""The system catalog, stored as a transaction-time relation.
+
+Schema changes are "handled just like any ordinary tuple insertion,
+deletion, or update" (Section IV): every CREATE/DROP writes a new catalog
+tuple version inside a transaction, so metadata history is itself audited
+and term-immutable.  Dropping a relation only writes an end-of-life catalog
+version — "its tuples … will be kept until they expire, just like any other
+data".
+
+The catalog relation has the fixed relation id 0 and its root page number
+is recorded on the engine's meta page; a relation's own root page number
+never changes (fixed-root splits), so catalog tuples need no updates as
+trees grow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..common.codec import Field, FieldType, Schema
+
+CATALOG_RELATION_ID = 0
+
+CATALOG_SCHEMA = Schema("__catalog__", [
+    Field("name", FieldType.STR),
+    Field("relation_id", FieldType.INT),
+    Field("root_pgno", FieldType.INT),
+    Field("use_tsb", FieldType.INT),      # 0/1: time-split tree?
+    Field("schema_json", FieldType.STR),
+], key_fields=["name"])
+
+
+def schema_to_json(schema: Schema) -> str:
+    """Serialise a Schema for storage in a catalog tuple."""
+    return json.dumps({
+        "name": schema.name,
+        "fields": [[f.name, f.ftype.value] for f in schema.fields],
+        "key": list(schema.key_fields),
+    }, sort_keys=True)
+
+
+def schema_from_json(raw: str) -> Schema:
+    """Inverse of :func:`schema_to_json`."""
+    blob = json.loads(raw)
+    fields = [Field(name, FieldType(ftype)) for name, ftype in
+              blob["fields"]]
+    return Schema(blob["name"], fields, blob["key"])
+
+
+@dataclass
+class RelationInfo:
+    """In-memory handle for one relation."""
+
+    name: str
+    relation_id: int
+    root_pgno: int
+    use_tsb: bool
+    schema: Schema
+    tree: object = field(default=None, repr=False)  # BPlusTree | TSBTree
+
+    def catalog_row(self) -> dict:
+        """The catalog tuple's column values for this relation."""
+        return {
+            "name": self.name,
+            "relation_id": self.relation_id,
+            "root_pgno": self.root_pgno,
+            "use_tsb": int(self.use_tsb),
+            "schema_json": schema_to_json(self.schema),
+        }
+
+    @classmethod
+    def from_catalog_row(cls, row: dict) -> "RelationInfo":
+        """Rebuild a handle from a decoded catalog tuple."""
+        return cls(name=row["name"], relation_id=row["relation_id"],
+                   root_pgno=row["root_pgno"],
+                   use_tsb=bool(row["use_tsb"]),
+                   schema=schema_from_json(row["schema_json"]))

@@ -1,0 +1,136 @@
+"""Historical-page directory and WORM page encoding (Section VI).
+
+When a time split migrates a leaf's superseded versions to WORM, the engine
+records a :class:`HistPageRef` in this directory — the reproduction's
+stand-in for the (key, time) interior index of a full TSB-tree.  Each entry
+remembers which relation, key range, and time horizon a migrated WORM page
+covers, so temporal queries can find old versions and the shredder can
+locate expired tuples that live on WORM.
+
+The directory itself sits on ordinary read/write media (a JSON file next to
+the database).  It is *not* trusted: the auditor independently verifies
+every migration against the MIGRATE records on the compliance log, so an
+adversary editing the directory gains nothing undetectable.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..common.errors import StorageError
+from ..storage.record import TupleVersion
+
+_COUNT = struct.Struct("<I")
+_HIST_MAGIC = b"RHP1"  # repro historical page, version 1
+
+
+@dataclass
+class HistPageRef:
+    """Directory entry for one migrated historical page on WORM."""
+
+    ref: str               # WORM file name
+    relation_id: int
+    leaf_pgno: int         # live leaf it was split from
+    split_time: int
+    lo_key: str            # hex-encoded key bounds (inclusive)
+    hi_key: str
+    count: int             # number of tuple versions on the page
+
+    def covers_key(self, key: bytes) -> bool:
+        """Whether this page may hold versions of ``key``."""
+        return bytes.fromhex(self.lo_key) <= key <= bytes.fromhex(self.hi_key)
+
+
+def encode_hist_page(entries: List[TupleVersion]) -> bytes:
+    """Serialise a historical page for WORM storage."""
+    parts = [_HIST_MAGIC, _COUNT.pack(len(entries))]
+    parts.extend(e.to_bytes() for e in entries)
+    return b"".join(parts)
+
+
+def decode_hist_page(raw: bytes) -> List[TupleVersion]:
+    """Parse a WORM historical page back into tuple versions."""
+    if raw[:4] != _HIST_MAGIC:
+        raise StorageError("not a historical page (bad magic)")
+    (count,) = _COUNT.unpack_from(raw, 4)
+    entries: List[TupleVersion] = []
+    offset = 4 + _COUNT.size
+    for _ in range(count):
+        entry, offset = TupleVersion.from_bytes(raw, offset)
+        entries.append(entry)
+    if offset != len(raw):
+        raise StorageError("trailing bytes after historical page entries")
+    return entries
+
+
+class HistoricalDirectory:
+    """Persistent index of all migrated historical pages."""
+
+    def __init__(self, path: Path):
+        self._path = Path(path)
+        self._entries: List[HistPageRef] = []
+        self._next_seq = 1
+        self._load()
+
+    # -- mutation -------------------------------------------------------------
+
+    def next_ref(self, relation_id: int) -> str:
+        """Reserve the WORM file name for the next migrated page."""
+        ref = f"hist/r{relation_id}-{self._next_seq:06d}"
+        self._next_seq += 1
+        return ref
+
+    def add(self, entry: HistPageRef) -> None:
+        """Record a migrated page and persist the directory."""
+        self._entries.append(entry)
+        self._save()
+
+    def replace(self, old_ref: str, new_entry: Optional[HistPageRef]) -> None:
+        """Swap a page's entry after shredding re-migration (None removes)."""
+        self._entries = [e for e in self._entries if e.ref != old_ref]
+        if new_entry is not None:
+            self._entries.append(new_entry)
+        self._save()
+
+    # -- queries --------------------------------------------------------------
+
+    def all_entries(self) -> List[HistPageRef]:
+        """Every directory entry (copy)."""
+        return list(self._entries)
+
+    def for_relation(self, relation_id: int) -> List[HistPageRef]:
+        """Entries of one relation, in migration order."""
+        return [e for e in self._entries if e.relation_id == relation_id]
+
+    def lookup(self, relation_id: int, key: bytes) -> List[HistPageRef]:
+        """Pages that may contain versions of (relation, key)."""
+        return [e for e in self._entries
+                if e.relation_id == relation_id and e.covers_key(key)]
+
+    def has_ref(self, ref: str) -> bool:
+        """Whether a WORM reference is already registered."""
+        return any(e.ref == ref for e in self._entries)
+
+    def page_count(self, relation_id: Optional[int] = None) -> int:
+        """Number of historical pages (optionally for one relation)."""
+        if relation_id is None:
+            return len(self._entries)
+        return len(self.for_relation(relation_id))
+
+    # -- persistence ------------------------------------------------------------
+
+    def _save(self) -> None:
+        blob = {"next_seq": self._next_seq,
+                "entries": [asdict(e) for e in self._entries]}
+        self._path.write_text(json.dumps(blob), encoding="utf-8")
+
+    def _load(self) -> None:
+        if not self._path.exists():
+            return
+        blob = json.loads(self._path.read_text(encoding="utf-8"))
+        self._next_seq = blob["next_seq"]
+        self._entries = [HistPageRef(**e) for e in blob["entries"]]

@@ -1,0 +1,5 @@
+"""Operator tooling: the repro-admin command-line interface."""
+
+from .admin import main
+
+__all__ = ["main"]

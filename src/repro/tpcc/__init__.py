@@ -1,0 +1,15 @@
+"""TPC-C: schema, deterministic loader, the five transactions, driver."""
+
+from .driver import MIX, DriverResult, TPCCDriver
+from .loader import TPCCLoader
+from .schema import (ALL_SCHEMAS, CUSTOMER, DISTRICT, HISTORY, ITEM,
+                     NEW_ORDER, ORDERS, ORDER_LINE, SCHEMAS_BY_NAME, STOCK,
+                     TPCCScale, WAREHOUSE, last_name)
+from .transactions import TPCCTransactions, TxnOutcome
+
+__all__ = [
+    "ALL_SCHEMAS", "CUSTOMER", "DISTRICT", "DriverResult", "HISTORY",
+    "ITEM", "MIX", "NEW_ORDER", "ORDERS", "ORDER_LINE", "SCHEMAS_BY_NAME",
+    "STOCK", "TPCCDriver", "TPCCLoader", "TPCCScale", "TPCCTransactions",
+    "TxnOutcome", "WAREHOUSE", "last_name",
+]

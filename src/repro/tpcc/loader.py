@@ -1,0 +1,182 @@
+"""Deterministic TPC-C population.
+
+Builds the initial database state: warehouses, districts, customers,
+items, stock, and a backlog of delivered/undelivered orders, following the
+cardinality ratios of the spec at whatever :class:`TPCCScale` dictates.
+All randomness flows from one seeded :class:`random.Random`, so a given
+(scale, seed) pair always produces the same database — the property the
+benchmark comparisons rely on.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Optional
+
+from .schema import ALL_SCHEMAS, TPCCScale, last_name
+
+_ROWS_PER_TXN = 50
+
+
+class TPCCLoader:
+    """Populates a database with the TPC-C initial state."""
+
+    def __init__(self, db, scale: TPCCScale, seed: int = 42):
+        scale.validate()
+        self._db = db
+        self.scale = scale
+        self._rng = random.Random(seed)
+        self._h_id = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _alpha(self, lo: int, hi: Optional[int] = None) -> str:
+        length = lo if hi is None else self._rng.randint(lo, hi)
+        return "".join(self._rng.choices(string.ascii_lowercase, k=length))
+
+    def _pad(self) -> str:
+        return self._alpha(self.scale.pad)
+
+    def _zip(self) -> str:
+        return f"{self._rng.randint(0, 9999):04d}11111"
+
+    # -- population ------------------------------------------------------------
+
+    def load(self) -> None:
+        """Create all nine relations and populate them."""
+        for schema in ALL_SCHEMAS:
+            self._db.create_relation(schema)
+        self._load_items()
+        for w_id in range(1, self.scale.warehouses + 1):
+            self._load_warehouse(w_id)
+        self._db.engine.run_stamper()
+        self._db.engine.checkpoint()
+
+    def _batched(self, rows) -> None:
+        batch = []
+        for relation, row in rows:
+            batch.append((relation, row))
+            if len(batch) >= _ROWS_PER_TXN:
+                self._flush_batch(batch)
+                batch = []
+        if batch:
+            self._flush_batch(batch)
+
+    def _flush_batch(self, batch) -> None:
+        with self._db.transaction() as txn:
+            for relation, row in batch:
+                self._db.insert(txn, relation, row)
+
+    def _load_items(self) -> None:
+        def rows():
+            for i_id in range(1, self.scale.items + 1):
+                original = self._rng.random() < 0.10
+                data = self._pad() + ("ORIGINAL" if original else "")
+                yield "item", {
+                    "i_id": i_id,
+                    "i_im_id": self._rng.randint(1, 10_000),
+                    "i_name": self._alpha(6, 12),
+                    "i_price": round(self._rng.uniform(1.0, 100.0), 2),
+                    "i_data": data,
+                }
+        self._batched(rows())
+
+    def _load_warehouse(self, w_id: int) -> None:
+        scale = self.scale
+
+        def rows():
+            yield "warehouse", {
+                "w_id": w_id, "w_name": self._alpha(6, 10),
+                "w_street_1": self._alpha(8, 12),
+                "w_city": self._alpha(6, 10), "w_state": self._alpha(2),
+                "w_zip": self._zip(),
+                "w_tax": round(self._rng.uniform(0.0, 0.2), 4),
+                "w_ytd": 300_000.0,
+            }
+            for i_id in range(1, scale.items + 1):
+                original = self._rng.random() < 0.10
+                yield "stock", {
+                    "s_w_id": w_id, "s_i_id": i_id,
+                    "s_quantity": self._rng.randint(10, 100),
+                    "s_dist": self._pad(), "s_ytd": 0, "s_order_cnt": 0,
+                    "s_remote_cnt": 0,
+                    "s_data": self._pad() + ("ORIGINAL" if original
+                                             else ""),
+                }
+            for d_id in range(1, scale.districts_per_warehouse + 1):
+                yield from self._district_rows(w_id, d_id)
+        self._batched(rows())
+
+    def _district_rows(self, w_id: int, d_id: int):
+        scale = self.scale
+        next_o_id = scale.initial_orders_per_district + 1
+        yield "district", {
+            "d_w_id": w_id, "d_id": d_id, "d_name": self._alpha(6, 10),
+            "d_street_1": self._alpha(8, 12), "d_city": self._alpha(6, 10),
+            "d_state": self._alpha(2), "d_zip": self._zip(),
+            "d_tax": round(self._rng.uniform(0.0, 0.2), 4),
+            "d_ytd": 30_000.0, "d_next_o_id": next_o_id,
+        }
+        for c_id in range(1, scale.customers_per_district + 1):
+            bad_credit = self._rng.random() < 0.10
+            yield "customer", {
+                "c_w_id": w_id, "c_d_id": d_id, "c_id": c_id,
+                "c_first": self._alpha(8, 12), "c_middle": "OE",
+                "c_last": last_name(self._customer_name_number(c_id)),
+                "c_street_1": self._alpha(8, 12),
+                "c_city": self._alpha(6, 10),
+                "c_state": self._alpha(2), "c_zip": self._zip(),
+                "c_phone": f"{self._rng.randint(0, 10**10 - 1):010d}",
+                "c_since": self._db.clock.now(),
+                "c_credit": "BC" if bad_credit else "GC",
+                "c_credit_lim": 50_000.0,
+                "c_discount": round(self._rng.uniform(0.0, 0.5), 4),
+                "c_balance": -10.0, "c_ytd_payment": 10.0,
+                "c_payment_cnt": 1, "c_delivery_cnt": 0,
+                "c_data": self._pad(),
+            }
+            self._h_id += 1
+            yield "history", {
+                "h_id": self._h_id, "h_c_id": c_id, "h_c_d_id": d_id,
+                "h_c_w_id": w_id, "h_d_id": d_id, "h_w_id": w_id,
+                "h_date": self._db.clock.now(), "h_amount": 10.0,
+                "h_data": self._pad(),
+            }
+        # initial order backlog: the last third is undelivered
+        permutation = list(range(1, scale.customers_per_district + 1))
+        self._rng.shuffle(permutation)
+        for o_id in range(1, scale.initial_orders_per_district + 1):
+            c_id = permutation[(o_id - 1) % len(permutation)]
+            undelivered = o_id > scale.initial_orders_per_district * 2 // 3
+            ol_cnt = self._rng.randint(5, 15)
+            yield "orders", {
+                "o_w_id": w_id, "o_d_id": d_id, "o_id": o_id,
+                "o_c_id": c_id, "o_entry_d": self._db.clock.now(),
+                "o_carrier_id": 0 if undelivered
+                else self._rng.randint(1, 10),
+                "o_ol_cnt": ol_cnt, "o_all_local": 1,
+            }
+            if undelivered:
+                yield "new_order", {"no_w_id": w_id, "no_d_id": d_id,
+                                    "no_o_id": o_id}
+            items = self._rng.sample(
+                range(1, scale.items + 1), min(ol_cnt, scale.items))
+            for number, i_id in enumerate(items, start=1):
+                yield "order_line", {
+                    "ol_w_id": w_id, "ol_d_id": d_id, "ol_o_id": o_id,
+                    "ol_number": number, "ol_i_id": i_id,
+                    "ol_supply_w_id": w_id,
+                    "ol_delivery_d": 0 if undelivered
+                    else self._db.clock.now(),
+                    "ol_quantity": 5,
+                    "ol_amount": 0.0 if undelivered
+                    else round(self._rng.uniform(0.01, 9999.99), 2),
+                    "ol_dist_info": self._pad(),
+                }
+
+    def _customer_name_number(self, c_id: int) -> int:
+        """Spec: the first 1000 customers get sequential name numbers."""
+        if c_id <= 1000:
+            return c_id - 1
+        return self._rng.randint(0, 999)

@@ -1,0 +1,152 @@
+"""TPC-C schema and scale parameters.
+
+The nine TPC-C relations, keyed per the specification.  Two deliberate
+adaptations for this engine (documented in DESIGN.md):
+
+* the paper "modified the TPC-C schema to include [a tuple order number]
+  for each relation" for the hash-page-on-read refinement — our engine
+  carries the tuple order number inside every stored
+  :class:`~repro.storage.record.TupleVersion`, so no schema change is
+  needed;
+* HISTORY has no primary key in the spec; we add the customary surrogate
+  ``h_id`` since the transaction-time engine identifies tuples by key;
+* STOCK's ten ``s_dist_XX`` padding columns are collapsed into one
+  ``s_dist`` string of the same total width (they exist only to give the
+  row its spec size).
+
+:class:`TPCCScale` holds the population parameters.  The spec values
+(3 000 customers/district, 100 000 items) are the defaults of
+:meth:`TPCCScale.full`; tests and benchmarks scale them down with the same
+ratios the paper's claims depend on (updates per tuple, hot-key skew).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..common.codec import Field, FieldType, Schema
+
+F = Field
+T = FieldType
+
+WAREHOUSE = Schema("warehouse", [
+    F("w_id", T.INT), F("w_name", T.STR), F("w_street_1", T.STR),
+    F("w_city", T.STR), F("w_state", T.STR), F("w_zip", T.STR),
+    F("w_tax", T.FLOAT), F("w_ytd", T.FLOAT),
+], key_fields=["w_id"])
+
+DISTRICT = Schema("district", [
+    F("d_w_id", T.INT), F("d_id", T.INT), F("d_name", T.STR),
+    F("d_street_1", T.STR), F("d_city", T.STR), F("d_state", T.STR),
+    F("d_zip", T.STR), F("d_tax", T.FLOAT), F("d_ytd", T.FLOAT),
+    F("d_next_o_id", T.INT),
+], key_fields=["d_w_id", "d_id"])
+
+CUSTOMER = Schema("customer", [
+    F("c_w_id", T.INT), F("c_d_id", T.INT), F("c_id", T.INT),
+    F("c_first", T.STR), F("c_middle", T.STR), F("c_last", T.STR),
+    F("c_street_1", T.STR), F("c_city", T.STR), F("c_state", T.STR),
+    F("c_zip", T.STR), F("c_phone", T.STR), F("c_since", T.INT),
+    F("c_credit", T.STR), F("c_credit_lim", T.FLOAT),
+    F("c_discount", T.FLOAT), F("c_balance", T.FLOAT),
+    F("c_ytd_payment", T.FLOAT), F("c_payment_cnt", T.INT),
+    F("c_delivery_cnt", T.INT), F("c_data", T.STR),
+], key_fields=["c_w_id", "c_d_id", "c_id"])
+
+HISTORY = Schema("history", [
+    F("h_id", T.INT), F("h_c_id", T.INT), F("h_c_d_id", T.INT),
+    F("h_c_w_id", T.INT), F("h_d_id", T.INT), F("h_w_id", T.INT),
+    F("h_date", T.INT), F("h_amount", T.FLOAT), F("h_data", T.STR),
+], key_fields=["h_id"])
+
+NEW_ORDER = Schema("new_order", [
+    F("no_w_id", T.INT), F("no_d_id", T.INT), F("no_o_id", T.INT),
+], key_fields=["no_w_id", "no_d_id", "no_o_id"])
+
+ORDERS = Schema("orders", [
+    F("o_w_id", T.INT), F("o_d_id", T.INT), F("o_id", T.INT),
+    F("o_c_id", T.INT), F("o_entry_d", T.INT), F("o_carrier_id", T.INT),
+    F("o_ol_cnt", T.INT), F("o_all_local", T.INT),
+], key_fields=["o_w_id", "o_d_id", "o_id"])
+
+ORDER_LINE = Schema("order_line", [
+    F("ol_w_id", T.INT), F("ol_d_id", T.INT), F("ol_o_id", T.INT),
+    F("ol_number", T.INT), F("ol_i_id", T.INT),
+    F("ol_supply_w_id", T.INT), F("ol_delivery_d", T.INT),
+    F("ol_quantity", T.INT), F("ol_amount", T.FLOAT),
+    F("ol_dist_info", T.STR),
+], key_fields=["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"])
+
+ITEM = Schema("item", [
+    F("i_id", T.INT), F("i_im_id", T.INT), F("i_name", T.STR),
+    F("i_price", T.FLOAT), F("i_data", T.STR),
+], key_fields=["i_id"])
+
+STOCK = Schema("stock", [
+    F("s_w_id", T.INT), F("s_i_id", T.INT), F("s_quantity", T.INT),
+    F("s_dist", T.STR), F("s_ytd", T.INT), F("s_order_cnt", T.INT),
+    F("s_remote_cnt", T.INT), F("s_data", T.STR),
+], key_fields=["s_w_id", "s_i_id"])
+
+ALL_SCHEMAS: List[Schema] = [WAREHOUSE, DISTRICT, CUSTOMER, HISTORY,
+                             NEW_ORDER, ORDERS, ORDER_LINE, ITEM, STOCK]
+
+SCHEMAS_BY_NAME: Dict[str, Schema] = {s.name: s for s in ALL_SCHEMAS}
+
+#: customer last names are built from these syllables per the spec
+LAST_NAME_SYLLABLES = ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE",
+                       "ANTI", "CALLY", "ATION", "EING"]
+
+
+def last_name(number: int) -> str:
+    """Spec rule 4.3.2.3: a last name from three syllables of ``number``."""
+    return (LAST_NAME_SYLLABLES[(number // 100) % 10] +
+            LAST_NAME_SYLLABLES[(number // 10) % 10] +
+            LAST_NAME_SYLLABLES[number % 10])
+
+
+@dataclass
+class TPCCScale:
+    """Population parameters; all the ratios of the spec, scaled."""
+
+    warehouses: int = 1
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 30
+    items: int = 100
+    initial_orders_per_district: int = 10
+    #: pad columns shrink proportionally so rows stay schema-shaped but
+    #: small enough for laptop-scale pages
+    pad: int = 8
+
+    @classmethod
+    def tiny(cls) -> "TPCCScale":
+        """Smallest population that still exercises every code path."""
+        return cls(warehouses=1, districts_per_warehouse=2,
+                   customers_per_district=10, items=30,
+                   initial_orders_per_district=5, pad=4)
+
+    @classmethod
+    def small(cls) -> "TPCCScale":
+        """The default benchmark scale (seconds, not hours)."""
+        return cls()
+
+    @classmethod
+    def medium(cls) -> "TPCCScale":
+        """A heavier run for the headline figures."""
+        return cls(warehouses=2, districts_per_warehouse=10,
+                   customers_per_district=60, items=200,
+                   initial_orders_per_district=20)
+
+    @classmethod
+    def full(cls) -> "TPCCScale":
+        """The specification's per-warehouse cardinalities (slow in pure
+        Python — provided for completeness)."""
+        return cls(warehouses=10, districts_per_warehouse=10,
+                   customers_per_district=3000, items=100_000,
+                   initial_orders_per_district=3000, pad=24)
+
+    def validate(self) -> None:
+        if min(self.warehouses, self.districts_per_warehouse,
+               self.customers_per_district, self.items) < 1:
+            raise ValueError("all scale parameters must be >= 1")

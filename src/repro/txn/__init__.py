@@ -1,0 +1,7 @@
+"""Transactions: strict-2PL lock table and lifecycle manager."""
+
+from .locks import LockMode, LockTable
+from .manager import (Transaction, TransactionManager, TxnState, WriteOp)
+
+__all__ = ["LockMode", "LockTable", "Transaction", "TransactionManager",
+           "TxnState", "WriteOp"]

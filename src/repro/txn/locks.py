@@ -1,0 +1,86 @@
+"""A simple two-phase-locking lock table.
+
+The reproduction executes transactions from a single driver thread (as the
+paper's TPC-C evaluation effectively does), so the lock table's job is to
+*order* interleaved transactions and surface conflicts, not to block
+threads: an incompatible request raises
+:class:`~repro.common.errors.LockConflictError` immediately and the caller
+decides whether to abort.  Locks are held until commit/abort (strict 2PL).
+
+Resources are arbitrary hashables; the engine locks ``(relation_id, key)``
+for tuple access and ``("relation", relation_id)`` for scans.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Hashable, Set, Tuple
+
+from ..common.errors import LockConflictError
+
+
+class LockMode(enum.Enum):
+    """Shared (read) or exclusive (write) access."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockTable:
+    """Tracks which transactions hold which locks."""
+
+    def __init__(self) -> None:
+        #: resource -> (mode, holder txn ids)
+        self._locks: Dict[Hashable, Tuple[LockMode, Set[int]]] = {}
+        #: txn id -> resources it holds
+        self._held: Dict[int, Set[Hashable]] = {}
+
+    def acquire(self, txn_id: int, resource: Hashable,
+                mode: LockMode) -> None:
+        """Grant a lock or raise :class:`LockConflictError`.
+
+        Re-acquisition by a holder is a no-op; a sole SHARED holder may
+        upgrade to EXCLUSIVE.
+        """
+        entry = self._locks.get(resource)
+        if entry is None:
+            self._locks[resource] = (mode, {txn_id})
+            self._held.setdefault(txn_id, set()).add(resource)
+            return
+        held_mode, holders = entry
+        if txn_id in holders:
+            if mode is LockMode.EXCLUSIVE and held_mode is LockMode.SHARED:
+                if holders == {txn_id}:
+                    self._locks[resource] = (LockMode.EXCLUSIVE, holders)
+                    return
+                raise LockConflictError(
+                    f"txn {txn_id} cannot upgrade {resource!r}: "
+                    f"shared with {sorted(holders - {txn_id})}")
+            return
+        if held_mode is LockMode.SHARED and mode is LockMode.SHARED:
+            holders.add(txn_id)
+            self._held.setdefault(txn_id, set()).add(resource)
+            return
+        raise LockConflictError(
+            f"txn {txn_id} denied {mode.value} on {resource!r}: held "
+            f"{held_mode.value} by {sorted(holders)}")
+
+    def release_all(self, txn_id: int) -> None:
+        """Release every lock a transaction holds (commit/abort time)."""
+        for resource in self._held.pop(txn_id, set()):
+            entry = self._locks.get(resource)
+            if entry is None:
+                continue
+            mode, holders = entry
+            holders.discard(txn_id)
+            if not holders:
+                del self._locks[resource]
+
+    def holders(self, resource: Hashable) -> Set[int]:
+        """Transaction ids currently holding a resource (copy)."""
+        entry = self._locks.get(resource)
+        return set(entry[1]) if entry else set()
+
+    def held_by(self, txn_id: int) -> Set[Hashable]:
+        """Resources a transaction currently holds (copy)."""
+        return set(self._held.get(txn_id, set()))

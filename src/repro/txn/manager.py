@@ -1,0 +1,145 @@
+"""Transaction lifecycle management.
+
+Transaction IDs are allocated from the shared clock's tick sequence, so a
+transaction's ID doubles as its begin time and all IDs/commit times live on
+one strictly increasing axis — the property the paper's lazy timestamping
+relies on (an unstamped tuple's "temporary commit time" sorts consistently
+with real commit times for the serialisable schedules the engine admits).
+
+Commit protocol (Section IV ordering):
+
+1. append COMMIT to the WAL and **flush** it — the transaction is durable;
+2. release locks;
+3. fire ``on_commit`` listeners — the compliance plugin appends its
+   STAMP_TRANS record to the WORM log here, *after* the commit, as required
+   ("the compliance logger must wait to write ABORT and STAMP_TRANS records
+   until the transaction has actually committed/aborted").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..common.clock import SimulatedClock
+from ..common.errors import TransactionStateError
+from ..wal import TransactionLog, WalRecord, WalRecordType
+from .locks import LockTable
+
+
+class TxnState(enum.Enum):
+    """Lifecycle states of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class WriteOp:
+    """One tuple-version insertion performed by a transaction."""
+
+    relation_id: int
+    key: bytes
+    start: int  # the txn id (unstamped temporary value)
+    eol: bool
+
+
+@dataclass
+class Transaction:
+    """A live transaction handle."""
+
+    txn_id: int
+    state: TxnState = TxnState.ACTIVE
+    commit_time: Optional[int] = None
+    writes: List[WriteOp] = field(default_factory=list)
+
+    def require_active(self) -> None:
+        """Raise unless the transaction can still perform work."""
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"txn {self.txn_id} is {self.state.value}")
+
+
+CommitListener = Callable[[Transaction, int], None]
+AbortListener = Callable[[Transaction], None]
+UndoCallback = Callable[[Transaction], None]
+
+
+class TransactionManager:
+    """Begin/commit/abort orchestration over the WAL and lock table."""
+
+    def __init__(self, clock: SimulatedClock, wal: TransactionLog,
+                 locks: Optional[LockTable] = None):
+        self._clock = clock
+        self._wal = wal
+        self.locks = locks if locks is not None else LockTable()
+        self._active: Dict[int, Transaction] = {}
+        #: txn id -> commit time for every commit this incarnation knows of
+        self.commit_times: Dict[int, int] = {}
+        self.on_commit: List[CommitListener] = []
+        self.on_abort: List[AbortListener] = []
+        #: set by the engine: rolls a transaction's writes out of the trees
+        self.undo_callback: Optional[UndoCallback] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a transaction; its id is a fresh clock tick."""
+        txn = Transaction(txn_id=self._clock.tick())
+        self._active[txn.txn_id] = txn
+        self._wal.append(WalRecord(WalRecordType.BEGIN, txn_id=txn.txn_id))
+        return txn
+
+    def commit(self, txn: Transaction) -> int:
+        """Durably commit; returns the commit time."""
+        txn.require_active()
+        commit_time = self._clock.tick()
+        self._wal.append(WalRecord(WalRecordType.COMMIT, txn_id=txn.txn_id,
+                                   commit_time=commit_time))
+        self._wal.flush()
+        txn.state = TxnState.COMMITTED
+        txn.commit_time = commit_time
+        self.commit_times[txn.txn_id] = commit_time
+        del self._active[txn.txn_id]
+        self.locks.release_all(txn.txn_id)
+        for listener in self.on_commit:
+            listener(txn, commit_time)
+        return commit_time
+
+    def abort(self, txn: Transaction) -> None:
+        """Roll back: undo tree writes, log ABORT durably, release locks."""
+        txn.require_active()
+        if self.undo_callback is not None:
+            self.undo_callback(txn)
+        self._wal.append(WalRecord(WalRecordType.ABORT, txn_id=txn.txn_id))
+        self._wal.flush()
+        txn.state = TxnState.ABORTED
+        del self._active[txn.txn_id]
+        self.locks.release_all(txn.txn_id)
+        for listener in self.on_abort:
+            listener(txn)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        """Number of in-flight transactions."""
+        return len(self._active)
+
+    def active_transactions(self) -> List[Transaction]:
+        """Snapshot of in-flight transactions."""
+        return list(self._active.values())
+
+    def resolve_start(self, start: int, stamped: bool) -> Optional[int]:
+        """Commit time a tuple's start resolves to; None if uncommitted."""
+        if stamped:
+            return start
+        return self.commit_times.get(start)
+
+    def crash_reset(self) -> None:
+        """Forget all volatile transaction state (the crash primitive)."""
+        self._active.clear()
+        self.commit_times.clear()
+        self.locks = LockTable()

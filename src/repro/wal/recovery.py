@@ -1,0 +1,63 @@
+"""Crash-recovery analysis over the WAL.
+
+Pass 1 of recovery (*analysis*): classify every transaction seen in the
+durable log as committed, aborted, or in-flight (a "loser" that the crash
+interrupted — it must be rolled back).  Pass 2 (redo/undo application)
+lives in the engine, which owns the B+-trees; see
+:meth:`repro.temporal.engine.Engine.recover`.
+
+The compliance side of recovery (START_RECOVERY, replayed ABORT and
+STAMP_TRANS records on the compliance log, the consistency check between
+the WAL tail on WORM and what recovery appended to L) lives in the
+compliance plugin and auditor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from .records import WalRecord, WalRecordType
+
+
+@dataclass
+class RecoveryPlan:
+    """Outcome classification of every transaction in the durable WAL."""
+
+    #: txn id -> commit time, for transactions whose COMMIT is durable
+    committed: Dict[int, int] = field(default_factory=dict)
+    #: transactions whose ABORT is durable
+    aborted: Set[int] = field(default_factory=set)
+    #: transactions with a BEGIN (or any op) but no durable outcome;
+    #: recovery rolls these back
+    losers: Set[int] = field(default_factory=set)
+    #: all durable records, in LSN order, for the application pass
+    records: List[WalRecord] = field(default_factory=list)
+
+    def outcome_of(self, txn_id: int) -> str:
+        """'committed' | 'aborted' | 'loser' for a transaction id."""
+        if txn_id in self.committed:
+            return "committed"
+        if txn_id in self.aborted:
+            return "aborted"
+        return "loser"
+
+
+def analyse(records) -> RecoveryPlan:
+    """Run the analysis pass over an iterable of durable WAL records."""
+    plan = RecoveryPlan()
+    seen: Set[int] = set()
+    for record in records:
+        plan.records.append(record)
+        if record.rtype in (WalRecordType.CHECKPOINT,
+                            WalRecordType.TIME_SPLIT,
+                            WalRecordType.PHYS_DELETE):
+            # system operations: outside any transaction's outcome
+            continue
+        seen.add(record.txn_id)
+        if record.rtype == WalRecordType.COMMIT:
+            plan.committed[record.txn_id] = record.commit_time
+        elif record.rtype == WalRecordType.ABORT:
+            plan.aborted.add(record.txn_id)
+    plan.losers = seen - set(plan.committed) - plan.aborted
+    return plan

@@ -1,0 +1,5 @@
+"""Simulated term-immutable (WORM) compliance storage server."""
+
+from .server import WormFileMeta, WormServer
+
+__all__ = ["WormFileMeta", "WormServer"]

@@ -1,0 +1,276 @@
+"""Simulated compliance (WORM) storage server.
+
+Models the file-level interface of the compliance storage servers the paper
+targets (IBM/EMC/NetApp SnapLock-class boxes):
+
+* files are **term-immutable**: once written, their bytes can never be
+  changed, and they cannot be deleted before their retention period ends;
+* **append-only log files** are supported ("We assume the server allows us
+  to append to files, so that it can hold logs") — existing bytes stay
+  immutable, new bytes may be appended until the file is sealed;
+* file **create times** come from a trusted Compliance Clock ("we trust the
+  WORM server to correctly record the create times of files").
+
+The server persists file bytes under a root directory and its trusted
+metadata in an append-only journal inside that directory.  The threat model
+*trusts* this server — the adversary edits the read/write media where the
+database lives, not the WORM box — so enforcement at this API layer is the
+faithful simulation: any attempt to overwrite, truncate, or early-delete
+raises :class:`~repro.common.errors.WormViolationError` exactly as the real
+box would reject the request.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..common.clock import SimulatedClock
+from ..common.errors import (WormError, WormFileExistsError,
+                             WormFileNotFoundError, WormViolationError)
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9._\-]+(/[A-Za-z0-9._\-]+)*$")
+_META_JOURNAL = "__worm_meta__.jsonl"
+
+
+@dataclass
+class WormFileMeta:
+    """Trusted metadata the WORM server keeps per file."""
+
+    name: str
+    create_time: int
+    retention_until: int
+    appendable: bool
+    sealed: bool
+    size: int
+
+
+class WormServer:
+    """A term-immutable file store with a trusted clock.
+
+    Parameters
+    ----------
+    root:
+        Directory that holds the simulated WORM volume.
+    clock:
+        The trusted Compliance Clock.  Sharing the harness's
+        :class:`SimulatedClock` is faithful: the paper trusts the WORM
+        server's clock as authoritative.
+    default_retention:
+        Retention period (microseconds) applied when a file is created
+        without an explicit one.
+    """
+
+    def __init__(self, root: os.PathLike, clock: SimulatedClock,
+                 default_retention: int):
+        if default_retention <= 0:
+            raise WormError("default_retention must be positive")
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+        self._default_retention = default_retention
+        self._files: Dict[str, WormFileMeta] = {}
+        #: open handles for append-only files (hot path: the compliance
+        #: log receives one append per record)
+        self._append_handles: Dict[str, object] = {}
+        self._journal_path = self._root / _META_JOURNAL
+        self._journal_handle = None
+        self._replay_journal()
+
+    # -- clock ---------------------------------------------------------------
+
+    def now(self) -> int:
+        """The trusted Compliance Clock's current time."""
+        return self._clock.now()
+
+    # -- creation ------------------------------------------------------------
+
+    def create_file(self, name: str, data: bytes = b"",
+                    retention: Optional[int] = None) -> WormFileMeta:
+        """Commit an immutable file.  Its bytes can never change again.
+
+        Empty ``data`` is allowed — the compliance plugin creates one empty
+        *witness* file per regret interval to prove the DBMS was alive.
+        """
+        meta = self._create(name, retention, appendable=False)
+        if data:
+            self._path_for(name).write_bytes(bytes(data))
+            meta.size = len(data)
+        return meta
+
+    def create_append_file(self, name: str,
+                           retention: Optional[int] = None) -> WormFileMeta:
+        """Create an append-only log file (e.g. the compliance log ``L``)."""
+        return self._create(name, retention, appendable=True)
+
+    def _create(self, name: str, retention: Optional[int],
+                appendable: bool) -> WormFileMeta:
+        self._check_name(name)
+        if name in self._files:
+            raise WormFileExistsError(f"WORM file {name!r} already exists")
+        period = self._default_retention if retention is None else retention
+        if period <= 0:
+            raise WormError("retention must be positive")
+        created = self._clock.now()
+        meta = WormFileMeta(name=name, create_time=created,
+                            retention_until=created + period,
+                            appendable=appendable, sealed=not appendable,
+                            size=0)
+        path = self._path_for(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"")
+        self._files[name] = meta
+        self._journal("create", name, create_time=created,
+                      retention_until=meta.retention_until,
+                      appendable=appendable)
+        return meta
+
+    # -- append --------------------------------------------------------------
+
+    def append(self, name: str, data: bytes) -> int:
+        """Append bytes to an append-only file; returns the write offset.
+
+        Existing bytes are untouchable; appending to a sealed or regular
+        file is a WORM violation.
+        """
+        meta = self._require(name)
+        if not meta.appendable or meta.sealed:
+            raise WormViolationError(
+                f"cannot append to sealed/immutable WORM file {name!r}")
+        offset = meta.size
+        if data:
+            handle = self._append_handles.get(name)
+            if handle is None:
+                handle = open(self._path_for(name), "ab")
+                self._append_handles[name] = handle
+            handle.write(bytes(data))
+            handle.flush()
+            meta.size += len(data)
+        return offset
+
+    def seal(self, name: str) -> None:
+        """Permanently close an append-only file (idempotent).
+
+        The audit seals the current compliance-log epoch before opening a
+        fresh one (Section IV: "the current file for L is permanently
+        closed, a new one is opened").
+        """
+        meta = self._require(name)
+        if not meta.sealed:
+            meta.sealed = True
+            handle = self._append_handles.pop(name, None)
+            if handle is not None:
+                handle.close()
+            self._journal("seal", name)
+
+    # -- read ----------------------------------------------------------------
+
+    def read(self, name: str, offset: int = 0,
+             length: Optional[int] = None) -> bytes:
+        """Read (part of) a file's committed bytes."""
+        meta = self._require(name)
+        with open(self._path_for(name), "rb") as handle:
+            handle.seek(offset)
+            raw = handle.read(meta.size - offset if length is None
+                              else length)
+        return raw
+
+    def size(self, name: str) -> int:
+        """Committed size of a file in bytes."""
+        return self._require(name).size
+
+    def exists(self, name: str) -> bool:
+        """Whether a file exists on the WORM volume."""
+        return name in self._files
+
+    def meta(self, name: str) -> WormFileMeta:
+        """Trusted metadata for a file (copy)."""
+        meta = self._require(name)
+        return WormFileMeta(**vars(meta))
+
+    def list_files(self, prefix: str = "") -> List[str]:
+        """Names of all files, optionally filtered by prefix, sorted."""
+        return sorted(n for n in self._files if n.startswith(prefix))
+
+    # -- deletion ------------------------------------------------------------
+
+    def delete(self, name: str) -> None:
+        """Delete a file **only if** its retention period has ended.
+
+        The unit of deletion on WORM is the whole file (Section VIII).
+        """
+        meta = self._require(name)
+        if self._clock.now() < meta.retention_until:
+            raise WormViolationError(
+                f"WORM file {name!r} is under retention until "
+                f"{meta.retention_until} (now {self._clock.now()})")
+        handle = self._append_handles.pop(name, None)
+        if handle is not None:
+            handle.close()
+        self._path_for(name).unlink(missing_ok=True)
+        del self._files[name]
+        self._journal("delete", name)
+
+    def is_expired(self, name: str) -> bool:
+        """Whether a file's retention period has ended."""
+        return self._clock.now() >= self._require(name).retention_until
+
+    # -- internals -----------------------------------------------------------
+
+    def _require(self, name: str) -> WormFileMeta:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise WormFileNotFoundError(
+                f"no WORM file named {name!r}") from None
+
+    def _check_name(self, name: str) -> None:
+        if not _NAME_RE.match(name or ""):
+            raise WormError(f"invalid WORM file name {name!r}")
+        if any(part in (".", "..") for part in name.split("/")):
+            raise WormError(f"invalid WORM file name {name!r}")
+        if name == _META_JOURNAL:
+            raise WormError("reserved WORM file name")
+
+    def _path_for(self, name: str) -> Path:
+        return self._root / name
+
+    def _journal(self, op: str, name: str, **extra) -> None:
+        entry = {"op": op, "name": name}
+        entry.update(extra)
+        if self._journal_handle is None:
+            self._journal_handle = open(self._journal_path, "a",
+                                        encoding="utf-8")
+        self._journal_handle.write(json.dumps(entry) + "\n")
+        self._journal_handle.flush()
+
+    def _replay_journal(self) -> None:
+        if not self._journal_path.exists():
+            return
+        with open(self._journal_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                entry = json.loads(line)
+                op, name = entry["op"], entry["name"]
+                if op == "create":
+                    self._files[name] = WormFileMeta(
+                        name=name, create_time=entry["create_time"],
+                        retention_until=entry["retention_until"],
+                        appendable=entry["appendable"],
+                        sealed=not entry["appendable"], size=0)
+                elif op == "seal":
+                    self._files[name].sealed = True
+                elif op == "delete":
+                    self._files.pop(name, None)
+        # file sizes are recovered from the files themselves — the data
+        # is its own durable record; the journal holds only trusted
+        # metadata (create times, retention, seals)
+        for name, meta in self._files.items():
+            path = self._path_for(name)
+            meta.size = path.stat().st_size if path.exists() else 0

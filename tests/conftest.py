@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock, years
+from repro.worm import WormServer
+
+
+@pytest.fixture
+def clock():
+    """A fresh simulated clock."""
+    return SimulatedClock()
+
+
+@pytest.fixture
+def worm(tmp_path, clock):
+    """A WORM server on a scratch directory with a 7-year default term."""
+    return WormServer(tmp_path / "worm", clock, default_retention=years(7))

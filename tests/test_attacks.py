@@ -1,0 +1,249 @@
+"""Detection tests: every threat-model attack must be caught by the audit.
+
+Each test mounts one attack from Section II / Fig. 2 / Section V and
+asserts the next audit reports tampering — and, where the paper
+distinguishes them, that the *weaker* architecture misses what the
+*stronger* one catches (the state-reversion attack).
+"""
+
+import pytest
+
+from repro import (Auditor, ComplianceConfig, ComplianceMode, CompliantDB,
+                   DBConfig, EngineConfig, Field, FieldType, Schema,
+                   SimulatedClock, minutes)
+from repro.core import Adversary, AttackFailed
+
+LEDGER = Schema("ledger", [
+    Field("entry_id", FieldType.INT),
+    Field("account", FieldType.STR),
+    Field("amount", FieldType.INT),
+], key_fields=["entry_id"])
+
+
+def make_db(tmp_path, mode=ComplianceMode.LOG_CONSISTENT):
+    clock = SimulatedClock()
+    config = DBConfig(engine=EngineConfig(page_size=1024, buffer_pages=32),
+                      compliance=ComplianceConfig())
+    db = CompliantDB.create(tmp_path / "db", clock=clock, mode=mode,
+                            config=config)
+    db.create_relation(LEDGER)
+    return db
+
+
+def populate(db, count=40):
+    for i in range(count):
+        with db.transaction() as txn:
+            db.insert(txn, "ledger",
+                      {"entry_id": i, "account": "ops", "amount": i * 10})
+    for i in range(0, count, 4):
+        with db.transaction() as txn:
+            db.update(txn, "ledger",
+                      {"entry_id": i, "account": "ops", "amount": -1})
+
+
+@pytest.fixture(params=[ComplianceMode.LOG_CONSISTENT,
+                        ComplianceMode.HASH_ON_READ])
+def rigged(tmp_path, request):
+    """A populated database plus its adversary, in both architectures."""
+    db = make_db(tmp_path, mode=request.param)
+    populate(db)
+    mala = Adversary(db)
+    mala.settle()
+    return db, mala
+
+
+class TestShredAndAlter:
+    def test_shredding_a_tuple_is_detected(self, rigged):
+        db, mala = rigged
+        mala.shred_tuple("ledger", (7,))
+        report = Auditor(db).audit()
+        assert not report.ok
+        assert "completeness" in report.codes()
+
+    def test_shredding_one_old_version_is_detected(self, rigged):
+        db, mala = rigged
+        # erase only the superseded version of a multi-version tuple
+        mala.shred_tuple("ledger", (4,), version_index=0)
+        report = Auditor(db).audit()
+        assert not report.ok
+        assert "completeness" in report.codes()
+
+    def test_altering_payload_is_detected(self, rigged):
+        db, mala = rigged
+        mala.alter_tuple("ledger", (3,),
+                         {"entry_id": 3, "account": "ops",
+                          "amount": 999999})
+        report = Auditor(db).audit()
+        assert not report.ok
+        assert "completeness" in report.codes()
+
+    def test_audit_names_the_altered_version(self, rigged):
+        db, mala = rigged
+        mala.alter_tuple("ledger", (3,),
+                         {"entry_id": 3, "account": "ops", "amount": 1})
+        report = Auditor(db).audit()
+        detail = next(f for f in report.findings
+                      if f.code == "completeness").detail
+        assert "altered" in detail
+
+
+class TestPostHocInsertion:
+    def test_backdated_insert_is_detected(self, rigged):
+        db, mala = rigged
+        past = db.clock.now() - minutes(60)
+        mala.backdate_insert("ledger", {"entry_id": 5000,
+                                        "account": "ghost",
+                                        "amount": 123}, start=past)
+        report = Auditor(db).audit()
+        assert not report.ok
+        assert "completeness" in report.codes()
+
+    def test_backdated_insert_with_forged_log_records(self, rigged):
+        # Mala also appends NEW_TUPLE-legitimising STAMP_TRANS to L; the
+        # WAL-mirror cross-check still catches her
+        db, mala = rigged
+        past = db.clock.now() - minutes(60)
+        mala.backdate_insert("ledger", {"entry_id": 5000,
+                                        "account": "ghost",
+                                        "amount": 123}, start=past)
+        mala.append_spurious_stamp(txn_id=999999, commit_time=past)
+        report = Auditor(db).audit()
+        assert not report.ok
+        assert report.codes() & {"recovery-inconsistent", "stamp-order",
+                                 "completeness"}
+
+
+class TestIndexAttacks:
+    def test_swapped_leaf_entries_detected(self, rigged):
+        db, mala = rigged
+        mala.swap_leaf_entries("ledger")
+        report = Auditor(db).audit()
+        assert not report.ok
+        assert report.codes() & {"slot-order", "version-threading",
+                                 "key-bound", "cross-page-order"}
+
+    def test_tampered_separator_detected(self, rigged):
+        db, mala = rigged
+        mala.tamper_separator("ledger")
+        report = Auditor(db).audit()
+        assert not report.ok
+
+
+class TestStateReversion:
+    def test_log_consistent_alone_misses_reversion(self, tmp_path):
+        # the attack the paper uses to motivate hash-page-on-read
+        db = make_db(tmp_path, mode=ComplianceMode.LOG_CONSISTENT)
+        populate(db)
+        mala = Adversary(db)
+        mala.settle()
+        handle = mala.begin_state_reversion(
+            "ledger", (3,), {"entry_id": 3, "account": "ops",
+                             "amount": 31337})
+        # victims query the tampered state
+        assert db.get("ledger", (3,))["amount"] == 31337
+        handle.revert()
+        db.engine.buffer.drop_all()
+        report = Auditor(db).audit()
+        assert report.ok, ("log-consistent cannot see reverted tampering: "
+                           "query verification interval is infinite")
+
+    def test_hash_on_read_catches_reversion(self, tmp_path):
+        db = make_db(tmp_path, mode=ComplianceMode.HASH_ON_READ)
+        populate(db)
+        mala = Adversary(db)
+        mala.settle()
+        handle = mala.begin_state_reversion(
+            "ledger", (3,), {"entry_id": 3, "account": "ops",
+                             "amount": 31337})
+        assert db.get("ledger", (3,))["amount"] == 31337  # READ logged
+        handle.revert()
+        db.engine.buffer.drop_all()
+        report = Auditor(db).audit()
+        assert not report.ok
+        assert "read-hash-mismatch" in report.codes()
+
+    def test_unread_reversion_is_invisible_even_to_hash_on_read(
+            self, tmp_path):
+        # if no transaction read the tampered page, there is no READ
+        # record to contradict — matching the paper's guarantee, which is
+        # about pages transactions actually read
+        db = make_db(tmp_path, mode=ComplianceMode.HASH_ON_READ)
+        populate(db)
+        mala = Adversary(db)
+        mala.settle()
+        handle = mala.begin_state_reversion(
+            "ledger", (3,), {"entry_id": 3, "account": "ops",
+                             "amount": 31337})
+        handle.revert()
+        report = Auditor(db).audit()
+        assert report.ok
+
+
+class TestLogForgery:
+    def test_spurious_abort_fails_audit(self, rigged):
+        # "Mala may append spurious ABORT records to L to try to hide the
+        # existence of tuples that she regrets"
+        db, mala = rigged
+        stamped = [txn for txn in db.plugin.commit_map][5]
+        mala.append_spurious_abort(stamped)
+        report = Auditor(db).audit()
+        assert not report.ok
+        assert "abort-and-commit" in report.codes()
+
+    def test_spurious_shredded_cover_up_fails_audit(self, rigged):
+        # shredding an unexpired tuple under cover of a SHREDDED record
+        db, mala = rigged
+        mala.append_spurious_shredded("ledger", (9,))
+        report = Auditor(db).audit()
+        assert not report.ok
+        assert report.codes() & {"shred-without-policy", "premature-shred"}
+
+
+class TestCrashAttacks:
+    def test_silent_recovery_detected(self, rigged):
+        db, mala = rigged
+        db.clock.advance(minutes(30))  # crash downtime, no witnesses
+        mala.crash_and_silent_recovery()
+        populate_more = [(1000, 1)]
+        for entry_id, amount in populate_more:
+            with db.transaction() as txn:
+                db.insert(txn, "ledger", {"entry_id": entry_id,
+                                          "account": "x",
+                                          "amount": amount})
+        report = Auditor(db).audit()
+        assert not report.ok
+        assert "liveness-gap" in report.codes()
+
+    def test_honest_recovery_after_downtime_passes(self, tmp_path):
+        db = make_db(tmp_path)
+        populate(db)
+        db.clock.advance(minutes(30))
+        db.crash()
+        db.recover()  # START_RECOVERY bridges the gap
+        report = Auditor(db).audit()
+        assert report.ok, report.summary()
+
+    def test_wal_truncation_before_recovery_detected(self, rigged):
+        db, mala = rigged
+        # a committed txn whose pages were never flushed
+        with db.transaction() as txn:
+            db.insert(txn, "ledger", {"entry_id": 777, "account": "hot",
+                                      "amount": 7})
+        mala.truncate_wal()  # destroy its WAL record, then "crash"
+        db.crash()
+        db.recover()
+        assert db.get("ledger", (777,)) is None  # the tuple is gone…
+        report = Auditor(db).audit()
+        assert not report.ok  # …but the WORM tail/L tell on her
+        assert report.codes() & {"recovery-inconsistent", "completeness",
+                                 "log-wal-divergence"}
+
+
+class TestAttackPreconditions:
+    def test_attacks_require_existing_targets(self, tmp_path):
+        db = make_db(tmp_path)
+        mala = Adversary(db)
+        with pytest.raises(AttackFailed):
+            mala.shred_tuple("ledger", (1,))
+        with pytest.raises(AttackFailed):
+            mala.tamper_separator("ledger")

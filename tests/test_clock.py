@@ -1,0 +1,60 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.common.clock import (MICROS_PER_MINUTE, SimulatedClock, days,
+                                minutes, seconds, years)
+from repro.common.errors import ConfigError
+
+
+def test_now_does_not_advance():
+    clock = SimulatedClock(start=500)
+    assert clock.now() == 500
+    assert clock.now() == 500
+
+
+def test_tick_strictly_increases():
+    clock = SimulatedClock()
+    stamps = [clock.tick() for _ in range(100)]
+    assert stamps == sorted(stamps)
+    assert len(set(stamps)) == 100
+
+
+def test_tick_size_configurable():
+    clock = SimulatedClock(start=0, tick_micros=10)
+    assert clock.tick() == 10
+    assert clock.tick() == 20
+
+
+def test_advance_jumps_forward():
+    clock = SimulatedClock(start=0)
+    clock.advance(minutes(5))
+    assert clock.now() == 5 * MICROS_PER_MINUTE
+
+
+def test_advance_rejects_negative():
+    clock = SimulatedClock()
+    with pytest.raises(ConfigError):
+        clock.advance(-1)
+
+
+def test_advance_to_is_monotone():
+    clock = SimulatedClock(start=100)
+    clock.advance_to(500)
+    assert clock.now() == 500
+    clock.advance_to(50)  # no-op: never goes backwards
+    assert clock.now() == 500
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigError):
+        SimulatedClock(start=-1)
+    with pytest.raises(ConfigError):
+        SimulatedClock(tick_micros=0)
+
+
+def test_duration_helpers_compose():
+    assert seconds(60) == minutes(1)
+    assert minutes(60 * 24) == days(1)
+    assert days(365) == years(1)
+    assert seconds(0.5) == 500_000

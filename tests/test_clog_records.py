@@ -1,0 +1,112 @@
+"""Unit tests for compliance-log records, framing, and the aux index."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.clock import years
+from repro.common.errors import ComplianceHaltError, ComplianceLogError
+from repro.core.compliance_log import ComplianceLog, aux_name, log_name
+from repro.core.records import (AuxStampEntry, CLogRecord, CLogType,
+                                iter_aux, iter_records)
+
+
+def full_record():
+    return CLogRecord(
+        CLogType.PAGE_SPLIT, txn_id=42, commit_time=99, relation_id=3,
+        pgno=7, timestamp=12345, heartbeat=True, is_index=True,
+        sep_key=b"\x01key", sep_start=-8, left_pgno=10, right_pgno=11,
+        parent_pgno=9, tuple_bytes=b"tuple-bytes", key=b"\x02k", start=55,
+        page_hash=b"\xaa" * 64, hist_ref="hist/r3-000001", split_time=777,
+        left_content=[b"a", b"bb"], right_content=[b"", b"ccc"])
+
+
+class TestRecordCodec:
+    def test_full_round_trip(self):
+        record = full_record()
+        parsed, end = CLogRecord.from_bytes(record.to_bytes(), 0)
+        assert parsed == record
+        assert end == len(record.to_bytes())
+
+    def test_minimal_round_trip(self):
+        record = CLogRecord(CLogType.ABORT, txn_id=5)
+        parsed, _ = CLogRecord.from_bytes(record.to_bytes(), 0)
+        assert parsed == record
+
+    @given(st.sampled_from(list(CLogType)), st.binary(max_size=64),
+           st.integers(min_value=-2**62, max_value=2**62))
+    def test_round_trip_property(self, rtype, blob, number):
+        record = CLogRecord(rtype, txn_id=number, tuple_bytes=blob,
+                            key=blob[:16], commit_time=abs(number))
+        parsed, _ = CLogRecord.from_bytes(record.to_bytes(), 0)
+        assert parsed == record
+
+    def test_iter_records_sequence(self):
+        records = [CLogRecord(CLogType.ABORT, txn_id=i) for i in range(5)]
+        blob = b"".join(r.to_bytes() for r in records)
+        parsed = list(iter_records(blob))
+        assert [r.txn_id for _, r in parsed] == [0, 1, 2, 3, 4]
+        # offsets are the true byte positions
+        for offset, record in parsed:
+            reparsed, _ = CLogRecord.from_bytes(blob, offset)
+            assert reparsed == record
+
+    def test_truncated_frame_rejected(self):
+        blob = full_record().to_bytes()
+        with pytest.raises(ComplianceLogError):
+            list(iter_records(blob[:-1]))
+
+    def test_aux_round_trip(self):
+        entries = [AuxStampEntry(1, 0, 100, False),
+                   AuxStampEntry(0, 64, 200, True)]
+        blob = b"".join(e.to_bytes() for e in entries)
+        assert list(iter_aux(blob)) == entries
+
+    def test_aux_bad_length_rejected(self):
+        with pytest.raises(ComplianceLogError):
+            list(iter_aux(b"\x00" * 7))
+
+
+class TestComplianceLog:
+    def test_names(self):
+        assert log_name(3) == "clog/epoch-000003.log"
+        assert aux_name(3) == "clog/epoch-000003.aux"
+
+    def test_append_and_read_back(self, worm):
+        clog = ComplianceLog(worm, epoch=1, retention=years(1))
+        first = clog.append(CLogRecord(CLogType.ABORT, txn_id=1))
+        second = clog.append(CLogRecord(CLogType.ABORT, txn_id=2))
+        assert first == 0 and second > 0
+        records = [r for _, r in clog.records()]
+        assert [r.txn_id for r in records] == [1, 2]
+
+    def test_stamp_trans_indexed_in_aux(self, worm):
+        clog = ComplianceLog(worm, epoch=1, retention=years(1))
+        clog.append(CLogRecord(CLogType.ABORT, txn_id=1))
+        offset = clog.append(CLogRecord(CLogType.STAMP_TRANS, txn_id=9,
+                                        commit_time=500))
+        entries = clog.aux_entries()
+        assert len(entries) == 1
+        assert entries[0].txn_id == 9
+        assert entries[0].offset == offset
+        assert entries[0].commit_time == 500
+
+    def test_sealed_log_halts_processing(self, worm):
+        clog = ComplianceLog(worm, epoch=1, retention=years(1))
+        clog.seal()
+        with pytest.raises(ComplianceHaltError):
+            clog.append(CLogRecord(CLogType.ABORT, txn_id=1))
+
+    def test_record_counts(self, worm):
+        clog = ComplianceLog(worm, epoch=1, retention=years(1))
+        for _ in range(3):
+            clog.append(CLogRecord(CLogType.ABORT, txn_id=1))
+        clog.append(CLogRecord(CLogType.STAMP_TRANS, txn_id=2,
+                               commit_time=1))
+        assert clog.record_counts() == {"ABORT": 3, "STAMP_TRANS": 1}
+
+    def test_reattach_same_epoch(self, worm):
+        clog = ComplianceLog(worm, epoch=1, retention=years(1))
+        clog.append(CLogRecord(CLogType.ABORT, txn_id=1))
+        again = ComplianceLog(worm, epoch=1, retention=years(1))
+        assert len(list(again.records())) == 1

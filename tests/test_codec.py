@@ -1,0 +1,152 @@
+"""Tests for the schema payload codec and order-preserving key codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.codec import (Field, FieldType, Schema, decode_key,
+                                encode_key)
+from repro.common.errors import CodecError
+
+
+def make_schema():
+    return Schema("account", [
+        Field("acct_id", FieldType.INT),
+        Field("owner", FieldType.STR),
+        Field("balance", FieldType.FLOAT),
+        Field("blob", FieldType.BYTES),
+    ], key_fields=["acct_id"])
+
+
+class TestSchema:
+    def test_payload_round_trip(self):
+        schema = make_schema()
+        row = {"acct_id": 42, "owner": "alice", "balance": 10.5,
+               "blob": b"\x00\x01"}
+        assert schema.decode_payload(schema.encode_payload(row)) == row
+
+    def test_unicode_round_trip(self):
+        schema = make_schema()
+        row = {"acct_id": 1, "owner": "ålice ☃", "balance": 0.0, "blob": b""}
+        assert schema.decode_payload(schema.encode_payload(row)) == row
+
+    def test_missing_field_rejected(self):
+        schema = make_schema()
+        with pytest.raises(CodecError):
+            schema.encode_payload({"acct_id": 1})
+
+    def test_wrong_type_rejected(self):
+        schema = make_schema()
+        row = {"acct_id": "not an int", "owner": "x", "balance": 1.0,
+               "blob": b""}
+        with pytest.raises(CodecError):
+            schema.encode_payload(row)
+
+    def test_bool_is_not_an_int(self):
+        schema = make_schema()
+        row = {"acct_id": True, "owner": "x", "balance": 1.0, "blob": b""}
+        with pytest.raises(CodecError):
+            schema.encode_payload(row)
+
+    def test_trailing_bytes_rejected(self):
+        schema = make_schema()
+        row = {"acct_id": 1, "owner": "x", "balance": 1.0, "blob": b""}
+        raw = schema.encode_payload(row)
+        with pytest.raises(CodecError):
+            schema.decode_payload(raw + b"\x00")
+
+    def test_truncated_payload_rejected(self):
+        schema = make_schema()
+        row = {"acct_id": 1, "owner": "xyz", "balance": 1.0, "blob": b"abc"}
+        raw = schema.encode_payload(row)
+        with pytest.raises(CodecError):
+            schema.decode_payload(raw[:-1])
+
+    def test_key_of_and_encode(self):
+        schema = make_schema()
+        row = {"acct_id": 7, "owner": "x", "balance": 1.0, "blob": b""}
+        assert schema.key_of(row) == (7,)
+        assert schema.encode_key_from_row(row) == encode_key((7,))
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(CodecError):
+            Schema("bad", [Field("a", FieldType.INT),
+                           Field("a", FieldType.INT)], ["a"])
+
+    def test_key_field_must_exist(self):
+        with pytest.raises(CodecError):
+            Schema("bad", [Field("a", FieldType.INT)], ["b"])
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(CodecError):
+            Schema("bad", [Field("a", FieldType.INT)], [])
+
+
+class TestKeyCodec:
+    def test_round_trip_mixed(self):
+        key = (5, "hello", b"\x00world", -3, 2.5)
+        assert decode_key(encode_key(key)) == key
+
+    def test_int_order(self):
+        values = [-(2**63), -1000, -1, 0, 1, 7, 2**63 - 1]
+        encoded = [encode_key((v,)) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_string_prefix_order(self):
+        values = ["", "a", "aa", "ab", "b"]
+        encoded = [encode_key((v,)) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_string_with_embedded_zero_bytes(self):
+        key = (b"a\x00b\x00\x00c",)
+        assert decode_key(encode_key(key)) == key
+
+    def test_composite_order(self):
+        values = [(1, "a"), (1, "b"), (2, "a"), (2, "a", 0), (2, "b")]
+        encoded = [encode_key(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_float_order(self):
+        values = [-100.0, -0.5, 0.0, 0.25, 1.0, 1e10]
+        encoded = [encode_key((v,)) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_bool_rejected(self):
+        with pytest.raises(CodecError):
+            encode_key((True,))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(CodecError):
+            encode_key(([1, 2],))
+
+    def test_truncated_key_rejected(self):
+        raw = encode_key((12345,))
+        with pytest.raises(CodecError):
+            decode_key(raw[:-2])
+
+    @given(st.lists(st.integers(min_value=-2**63, max_value=2**63 - 1),
+                    min_size=1, max_size=4))
+    def test_int_tuples_round_trip(self, values):
+        key = tuple(values)
+        assert decode_key(encode_key(key)) == key
+
+    @settings(max_examples=200)
+    @given(st.tuples(st.integers(min_value=-2**40, max_value=2**40),
+                     st.text(max_size=20)),
+           st.tuples(st.integers(min_value=-2**40, max_value=2**40),
+                     st.text(max_size=20)))
+    def test_encoding_preserves_order(self, a, b):
+        ea, eb = encode_key(a), encode_key(b)
+        if a < b:
+            assert ea < eb
+        elif a > b:
+            assert ea > eb
+        else:
+            assert ea == eb
+
+    @given(st.lists(st.binary(max_size=16), min_size=2, max_size=2))
+    def test_bytes_order_preserved(self, pair):
+        a, b = pair
+        ea, eb = encode_key((a,)), encode_key((b,))
+        assert (ea < eb) == (a < b)
+        assert (ea == eb) == (a == b)

@@ -1,0 +1,108 @@
+"""Additional engine query-surface tests: version views, structure
+inspection, composite keys, large payloads."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.codec import Field, FieldType, Schema
+from repro.common.config import EngineConfig
+from repro.common.errors import PageFullError
+from repro.temporal import Engine
+
+EVENTS = Schema("events", [
+    Field("region", FieldType.STR),
+    Field("seq", FieldType.INT),
+    Field("data", FieldType.STR),
+], key_fields=["region", "seq"])
+
+
+@pytest.fixture
+def engine(tmp_path):
+    eng = Engine.create(tmp_path / "db", SimulatedClock(),
+                        config=EngineConfig(page_size=1024,
+                                            buffer_pages=32))
+    eng.create_relation(EVENTS)
+    eng.run_stamper()
+    return eng
+
+
+class TestCompositeKeys:
+    def test_round_trip(self, engine):
+        with engine.transaction() as txn:
+            engine.insert(txn, "events",
+                          {"region": "eu", "seq": 1, "data": "a"})
+            engine.insert(txn, "events",
+                          {"region": "us", "seq": 1, "data": "b"})
+        assert engine.get("events", ("eu", 1))["data"] == "a"
+        assert engine.get("events", ("us", 1))["data"] == "b"
+        assert engine.get("events", ("eu", 2)) is None
+
+    def test_prefix_range_scan(self, engine):
+        with engine.transaction() as txn:
+            for region in ("eu", "us"):
+                for seq in range(5):
+                    engine.insert(txn, "events", {"region": region,
+                                                  "seq": seq,
+                                                  "data": "x"})
+        eu_rows = engine.scan("events", lo=("eu",), hi=("eu~",))
+        assert len(eu_rows) == 5
+        assert all(k[0] == "eu" for k, _ in eu_rows)
+
+    def test_scan_key_tuples_decoded(self, engine):
+        with engine.transaction() as txn:
+            engine.insert(txn, "events",
+                          {"region": "eu", "seq": 7, "data": "x"})
+        rows = engine.scan("events")
+        assert rows[0][0] == ("eu", 7)
+
+
+class TestVersionViews:
+    def test_views_sorted_and_typed(self, engine):
+        with engine.transaction() as txn:
+            engine.insert(txn, "events",
+                          {"region": "eu", "seq": 1, "data": "v0"})
+        for v in range(1, 4):
+            with engine.transaction() as txn:
+                engine.update(txn, "events",
+                              {"region": "eu", "seq": 1,
+                               "data": f"v{v}"})
+        with engine.transaction() as txn:
+            engine.delete(txn, "events", ("eu", 1))
+        views = engine.versions("events", ("eu", 1))
+        assert [v.row["data"] for v in views[:-1]] == \
+            ["v0", "v1", "v2", "v3"]
+        assert views[-1].eol and views[-1].row is None
+        starts = [v.start for v in views]
+        assert starts == sorted(starts)
+
+    def test_uncommitted_version_has_no_start(self, engine):
+        txn = engine.begin()
+        engine.insert(txn, "events",
+                      {"region": "eu", "seq": 9, "data": "pending"})
+        views = engine.versions("events", ("eu", 9))
+        assert len(views) == 1
+        assert views[0].start is None
+        engine.abort(txn)
+
+
+class TestStructureInspection:
+    def test_height_and_pgnos_grow(self, engine):
+        tree = engine.relation("events").tree
+        assert tree.height() == 1
+        with engine.transaction() as txn:
+            for seq in range(200):
+                engine.insert(txn, "events", {"region": "r", "seq": seq,
+                                              "data": "pad" * 5})
+        assert tree.height() >= 2
+        all_pgnos = tree.all_pgnos()
+        leaves = tree.leaf_pgnos()
+        assert set(leaves) <= set(all_pgnos)
+        assert len(all_pgnos) == len(set(all_pgnos))
+        assert tree.entry_count() == 200
+
+    def test_oversized_tuple_rejected(self, engine):
+        with pytest.raises(PageFullError):
+            with engine.transaction() as txn:
+                engine.insert(txn, "events",
+                              {"region": "eu", "seq": 1,
+                               "data": "x" * 2000})

@@ -1,0 +1,101 @@
+"""Tests for the forensic analyzer: localising detected tampering."""
+
+import pytest
+
+from repro import (Auditor, ComplianceConfig, ComplianceMode, CompliantDB,
+                   DBConfig, EngineConfig, Field, FieldType, Schema,
+                   SimulatedClock, minutes)
+from repro.core import Adversary
+from repro.core.forensics import ForensicAnalyzer
+
+LEDGER = Schema("ledger", [
+    Field("entry_id", FieldType.INT),
+    Field("amount", FieldType.INT),
+], key_fields=["entry_id"])
+
+
+def make_db(tmp_path, mode=ComplianceMode.LOG_CONSISTENT):
+    db = CompliantDB.create(
+        tmp_path / "db", clock=SimulatedClock(), mode=mode,
+        config=DBConfig(engine=EngineConfig(page_size=1024,
+                                            buffer_pages=32),
+                        compliance=ComplianceConfig(
+                            regret_interval=minutes(5))))
+    db.create_relation(LEDGER)
+    for i in range(40):
+        with db.transaction() as txn:
+            db.insert(txn, "ledger", {"entry_id": i, "amount": i})
+    mala = Adversary(db)
+    mala.settle()
+    return db, mala
+
+
+class TestForensics:
+    def test_clean_audit_yields_no_evidence(self, tmp_path):
+        db, _ = make_db(tmp_path)
+        report = ForensicAnalyzer(db).analyze()
+        assert report.audit.ok
+        assert report.evidence == []
+
+    def test_missing_tuple_localised(self, tmp_path):
+        db, mala = make_db(tmp_path)
+        insert_done = db.clock.now()
+        db.clock.advance(minutes(10))
+        tamper_time = db.clock.now()
+        mala.shred_tuple("ledger", (7,))
+        db.clock.advance(minutes(3))
+        report = ForensicAnalyzer(db).analyze()
+        assert not report.audit.ok
+        missing = [e for e in report.evidence if e.kind == "missing"]
+        assert len(missing) == 1
+        evidence = missing[0]
+        assert evidence.pgno is not None
+        # the window brackets the actual tampering moment
+        assert evidence.not_before <= tamper_time <= evidence.not_after
+        assert evidence.not_before >= 0
+        assert insert_done >= evidence.not_before
+
+    def test_posthoc_insert_flagged_as_extra(self, tmp_path):
+        db, mala = make_db(tmp_path)
+        mala.backdate_insert("ledger", {"entry_id": 9999, "amount": 1},
+                             start=db.clock.now() - minutes(60))
+        report = ForensicAnalyzer(db).analyze()
+        extra = [e for e in report.evidence if e.kind == "extra"]
+        assert len(extra) == 1
+        assert "post-hoc" in extra[0].detail
+
+    def test_read_mismatch_localised(self, tmp_path):
+        db, mala = make_db(tmp_path, mode=ComplianceMode.HASH_ON_READ)
+        handle = mala.begin_state_reversion(
+            "ledger", (3,), {"entry_id": 3, "amount": 31337})
+        db.get("ledger", (3,))
+        handle.revert()
+        db.engine.buffer.drop_all()
+        report = ForensicAnalyzer(db).analyze()
+        mismatches = [e for e in report.evidence
+                      if e.kind == "read-mismatch"]
+        assert mismatches
+        assert mismatches[0].pgno == handle.pgno
+
+    def test_legal_shredding_is_not_evidence(self, tmp_path):
+        db, mala = make_db(tmp_path)
+        db.set_retention("ledger", minutes(30))
+        db.clock.advance(minutes(1))
+        for i in range(5):
+            with db.transaction() as txn:
+                db.update(txn, "ledger", {"entry_id": i, "amount": -1})
+        db.pass_time(minutes(40))
+        assert db.vacuum().shredded_live == 5
+        # now tamper with something else
+        mala.settle()
+        mala.shred_tuple("ledger", (20,))
+        report = ForensicAnalyzer(db).analyze()
+        missing = [e for e in report.evidence if e.kind == "missing"]
+        assert len(missing) == 1  # only the real tampering, not the shreds
+
+    def test_summary_readable(self, tmp_path):
+        db, mala = make_db(tmp_path)
+        mala.shred_tuple("ledger", (7,))
+        text = ForensicAnalyzer(db).analyze().summary()
+        assert "localised" in text
+        assert "missing" in text

@@ -1,0 +1,122 @@
+"""Tests for ADD-HASH and the sequential page hash Hs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import (DIGEST_BYTES, AddHash, SeqHash, add_hash, h,
+                          seq_hash)
+
+
+class TestAddHash:
+    def test_empty_digest_is_zero(self):
+        assert AddHash().digest() == b"\x00" * DIGEST_BYTES
+
+    def test_digest_length(self):
+        assert len(AddHash([b"x"]).digest()) == DIGEST_BYTES
+
+    def test_commutative(self):
+        items = [b"alpha", b"beta", b"gamma", b"delta"]
+        forward = AddHash(items)
+        backward = AddHash(reversed(items))
+        assert forward == backward
+        assert forward.digest() == backward.digest()
+
+    def test_incremental_matches_batch(self):
+        items = [f"item{i}".encode() for i in range(50)]
+        incremental = AddHash()
+        for item in items:
+            incremental.add(item)
+        assert incremental.digest() == add_hash(items)
+
+    def test_multiset_sensitivity(self):
+        once = AddHash([b"x"])
+        twice = AddHash([b"x", b"x"])
+        assert once != twice
+
+    def test_different_sets_differ(self):
+        assert AddHash([b"a", b"b"]) != AddHash([b"a", b"c"])
+
+    def test_remove_inverts_add(self):
+        base = AddHash([b"a", b"b"])
+        grown = base.copy().add(b"c").remove(b"c")
+        assert grown == base
+        assert grown.count == 2
+
+    def test_union(self):
+        left = AddHash([b"a", b"b"])
+        right = AddHash([b"c"])
+        assert left.union(right) == AddHash([b"a", b"b", b"c"])
+
+    def test_copy_is_independent(self):
+        base = AddHash([b"a"])
+        dup = base.copy()
+        dup.add(b"b")
+        assert base != dup
+
+    def test_count_tracks_adds_and_removes(self):
+        hash_ = AddHash([b"a", b"b"])
+        assert hash_.count == 2
+        hash_.remove(b"a")
+        assert hash_.count == 1
+
+    def test_completeness_condition_shape(self):
+        # The auditor's check: H(Ds ∪ L) == H(Df) for the legitimate final
+        # state and != for a tampered one (Section IV-A).
+        snapshot = [b"t1", b"t2"]
+        log = [b"t3", b"t4"]
+        final_good = [b"t4", b"t1", b"t3", b"t2"]
+        final_tampered = [b"t4", b"t1", b"t3"]  # t2 shredded illegally
+        expected = AddHash(snapshot).union(AddHash(log))
+        assert expected == AddHash(final_good)
+        assert expected != AddHash(final_tampered)
+
+    @given(st.lists(st.binary(min_size=1, max_size=32), max_size=20))
+    def test_permutation_invariance(self, items):
+        assert AddHash(items) == AddHash(sorted(items))
+
+    @given(st.lists(st.binary(min_size=1, max_size=16), min_size=1,
+                    max_size=10))
+    def test_add_then_remove_all_returns_to_empty(self, items):
+        hash_ = AddHash(items)
+        for item in items:
+            hash_.remove(item)
+        assert hash_ == AddHash()
+
+
+class TestSeqHash:
+    def test_order_sensitive(self):
+        assert SeqHash([b"a", b"b"]) != SeqHash([b"b", b"a"])
+
+    def test_incremental_matches_batch(self):
+        items = [f"r{i}".encode() for i in range(20)]
+        running = SeqHash()
+        for item in items:
+            running.add(item)
+        assert running.digest() == seq_hash(items)
+
+    def test_empty_differs_from_single(self):
+        assert SeqHash() != SeqHash([b""])
+
+    def test_digest_length(self):
+        assert len(seq_hash([b"x"])) == DIGEST_BYTES
+
+    def test_copy_supports_divergent_replay(self):
+        # The auditor snapshots the chain state before a tuple that is later
+        # undone, then rolls forward both with and without it (Section V).
+        prefix = SeqHash([b"r1", b"r2"])
+        with_t2 = prefix.copy().add(b"t2").add(b"r3")
+        without_t2 = prefix.copy().add(b"r3")
+        assert with_t2 != without_t2
+
+    @given(st.lists(st.binary(max_size=16), min_size=2, max_size=8))
+    def test_any_reordering_detected(self, items):
+        rotated = items[1:] + items[:1]
+        if rotated == items:
+            return
+        assert SeqHash(items) != SeqHash(rotated)
+
+
+def test_h_is_sha512():
+    import hashlib
+    assert h(b"abc") == hashlib.sha512(b"abc").digest()

@@ -1,0 +1,185 @@
+"""Tests for litigation holds (the paper's Section IX future work)."""
+
+import pytest
+
+from repro import (Auditor, ComplianceConfig, ComplianceMode, CompliantDB,
+                   DBConfig, EngineConfig, Field, FieldType, Schema,
+                   SimulatedClock, minutes)
+from repro.common.codec import encode_key
+from repro.common.errors import KeyNotFoundError, ShreddingError
+
+DOCS = Schema("docs", [
+    Field("doc_id", FieldType.INT),
+    Field("body", FieldType.STR),
+], key_fields=["doc_id"])
+
+RETENTION = minutes(30)
+
+
+def make_db(tmp_path, migration=False):
+    db = CompliantDB.create(
+        tmp_path / "db", clock=SimulatedClock(),
+        mode=ComplianceMode.LOG_CONSISTENT,
+        config=DBConfig(engine=EngineConfig(page_size=1024,
+                                            buffer_pages=32),
+                        compliance=ComplianceConfig(
+                            regret_interval=minutes(5),
+                            worm_migration=migration,
+                            split_threshold=0.6)))
+    db.create_relation(DOCS)
+    db.set_retention("docs", RETENTION)
+    return db
+
+
+def expire_everything(db):
+    """Make all current history old enough to shred."""
+    db.pass_time(RETENTION + minutes(5))
+
+
+def add_history(db, doc_id, versions=3):
+    with db.transaction() as txn:
+        db.insert(txn, "docs", {"doc_id": doc_id, "body": "v0"})
+    for v in range(1, versions):
+        with db.transaction() as txn:
+            db.update(txn, "docs", {"doc_id": doc_id, "body": f"v{v}"})
+
+
+class TestHoldLifecycle:
+    def test_place_and_query(self, tmp_path):
+        db = make_db(tmp_path)
+        add_history(db, 1)
+        hold_id = db.place_hold("docs", key=(1,), case_ref="SEC-2026-17")
+        assert db.holds.is_held("docs", encode_key((1,)))
+        assert not db.holds.is_held("docs", encode_key((2,)))
+        holds = db.holds.active_holds()
+        assert len(holds) == 1
+        assert holds[0].case_ref == "SEC-2026-17"
+        assert holds[0].hold_id == hold_id
+
+    def test_relation_wide_hold(self, tmp_path):
+        db = make_db(tmp_path)
+        add_history(db, 1)
+        add_history(db, 2)
+        db.place_hold("docs")
+        assert db.holds.is_held("docs", encode_key((1,)))
+        assert db.holds.is_held("docs", encode_key((2,)))
+
+    def test_release_is_versioned(self, tmp_path):
+        db = make_db(tmp_path)
+        add_history(db, 1)
+        hold_id = db.place_hold("docs", key=(1,))
+        placed_at = db.clock.now()
+        db.clock.advance(minutes(1))
+        db.release_hold(hold_id)
+        assert not db.holds.is_held("docs", encode_key((1,)))
+        # but it WAS held at placement time: history preserved
+        assert db.holds.is_held("docs", encode_key((1,)), at=placed_at)
+        history = db.versions("__holds__", (hold_id,))
+        assert len(history) == 2
+
+    def test_double_release_rejected(self, tmp_path):
+        db = make_db(tmp_path)
+        add_history(db, 1)
+        hold_id = db.place_hold("docs", key=(1,))
+        db.release_hold(hold_id)
+        with pytest.raises(ShreddingError):
+            db.release_hold(hold_id)
+
+    def test_release_unknown_hold(self, tmp_path):
+        db = make_db(tmp_path)
+        with pytest.raises(KeyNotFoundError):
+            db.release_hold(404)
+
+    def test_hold_requires_relation(self, tmp_path):
+        from repro.common.errors import RelationNotFoundError
+        db = make_db(tmp_path)
+        with pytest.raises(RelationNotFoundError):
+            db.place_hold("ghost")
+
+    def test_ids_unique_after_restart_probe(self, tmp_path):
+        db = make_db(tmp_path)
+        add_history(db, 1)
+        first = db.place_hold("docs", key=(1,))
+        db.holds._next_id = 1  # simulate a fresh manager after restart
+        second = db.place_hold("docs", key=(1,))
+        assert second != first
+
+
+class TestHoldsBlockShredding:
+    def test_held_tuple_survives_vacuum(self, tmp_path):
+        db = make_db(tmp_path)
+        add_history(db, 1)
+        add_history(db, 2)
+        db.place_hold("docs", key=(1,), case_ref="subpoena")
+        expire_everything(db)
+        report = db.vacuum()
+        # doc 2's two superseded versions shredded; doc 1 untouched
+        assert report.shredded_live == 2
+        assert len(db.versions("docs", (1,))) == 3
+        assert len(db.versions("docs", (2,))) == 1
+        audit = Auditor(db).audit()
+        assert audit.ok, audit.summary()
+
+    def test_released_hold_allows_shredding(self, tmp_path):
+        db = make_db(tmp_path)
+        add_history(db, 1)
+        hold_id = db.place_hold("docs", key=(1,))
+        expire_everything(db)
+        assert db.vacuum().shredded_live == 0
+        db.release_hold(hold_id)
+        assert db.vacuum().shredded_live == 2
+        assert Auditor(db).audit().ok
+
+    def test_relation_hold_blocks_everything(self, tmp_path):
+        db = make_db(tmp_path)
+        for doc in range(5):
+            add_history(db, doc)
+        db.place_hold("docs")
+        expire_everything(db)
+        assert db.vacuum().shredded_live == 0
+
+    def test_hold_blocks_worm_shredding(self, tmp_path):
+        db = make_db(tmp_path, migration=True)
+        with db.transaction() as txn:
+            db.insert(txn, "docs", {"doc_id": 1, "body": "v0"})
+        for v in range(1, 120):
+            db.clock.advance(1000)
+            with db.transaction() as txn:
+                db.update(txn, "docs", {"doc_id": 1, "body": f"v{v}"})
+        db.engine.run_stamper()
+        assert db.engine.histdir.page_count() > 0
+        db.place_hold("docs", key=(1,))
+        expire_everything(db)
+        report = db.vacuum()
+        assert report.shredded_worm == 0
+        assert len(db.versions("docs", (1,))) == 120
+
+
+class TestAuditorEnforcesHolds:
+    def test_shredding_held_tuple_fails_audit(self, tmp_path):
+        # a dishonest operator bypasses the vacuum's hold check: the
+        # SHREDDED record itself convicts them
+        db = make_db(tmp_path)
+        add_history(db, 1)
+        db.place_hold("docs", key=(1,), case_ref="grand-jury")
+        expire_everything(db)
+        info = db.engine.relation("docs")
+        db.engine.run_stamper()
+        victim = info.tree.versions(encode_key((1,)))[0]
+        db.plugin.log_shredded(victim, 0, db.clock.now())
+        db.engine.physically_delete(info.relation_id, victim.key,
+                                    victim.start)
+        report = Auditor(db).audit()
+        assert not report.ok
+        assert "shred-under-hold" in report.codes()
+
+    def test_shred_after_release_passes_audit(self, tmp_path):
+        db = make_db(tmp_path)
+        add_history(db, 1)
+        hold_id = db.place_hold("docs", key=(1,))
+        expire_everything(db)
+        db.release_hold(hold_id)
+        db.clock.advance(minutes(1))
+        assert db.vacuum().shredded_live == 2
+        report = Auditor(db).audit()
+        assert report.ok, report.summary()

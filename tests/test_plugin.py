@@ -1,0 +1,199 @@
+"""Unit tests for the compliance plugin: diffing, normalisation, hashing,
+maintenance, and the snapshot module."""
+
+import pytest
+
+from repro import (ComplianceConfig, ComplianceMode, CompliantDB, DBConfig,
+                   EngineConfig, Field, FieldType, Schema, SimulatedClock,
+                   minutes)
+from repro.common.codec import encode_key
+from repro.core import load_snapshot, write_snapshot
+from repro.core.plugin import decode_index_content, index_content_bytes
+from repro.core.records import CLogType
+from repro.crypto import AuditorKey
+
+ROWS = Schema("rows", [
+    Field("k", FieldType.INT),
+    Field("v", FieldType.STR),
+], key_fields=["k"])
+
+
+def make_db(tmp_path, mode=ComplianceMode.HASH_ON_READ):
+    config = DBConfig(engine=EngineConfig(page_size=1024, buffer_pages=16),
+                      compliance=ComplianceConfig(
+                          regret_interval=minutes(5)))
+    db = CompliantDB.create(tmp_path / "db", clock=SimulatedClock(),
+                            mode=mode, config=config)
+    db.create_relation(ROWS)
+    return db
+
+
+def counts(db):
+    return db.clog.record_counts()
+
+
+class TestIndexContentCodec:
+    def test_round_trip(self):
+        children = [5, 9, 12]
+        seps = [(encode_key((3,)), 100), (encode_key((8,)), 200)]
+        raw = index_content_bytes(children, seps)
+        assert decode_index_content(raw) == (children, seps)
+
+    def test_empty(self):
+        raw = index_content_bytes([7], [])
+        assert decode_index_content(raw) == ([7], [])
+
+    def test_different_contents_differ(self):
+        a = index_content_bytes([1, 2], [(b"k", 5)])
+        b = index_content_bytes([1, 3], [(b"k", 5)])
+        assert a != b
+
+
+class TestDiffing:
+    def test_new_tuple_logged_once_per_version(self, tmp_path):
+        db = make_db(tmp_path)
+        with db.transaction() as txn:
+            db.insert(txn, "rows", {"k": 1, "v": "a"})
+        db.engine.checkpoint()
+        db.engine.checkpoint()  # second flush: no new records
+        # exactly four: the __expiry__, __holds__, and "rows" catalog
+        # tuples plus the row itself
+        assert counts(db).get("NEW_TUPLE", 0) == 4
+
+    def test_stamping_transition_produces_no_records(self, tmp_path):
+        db = make_db(tmp_path)
+        with db.transaction() as txn:
+            db.insert(txn, "rows", {"k": 1, "v": "a"})
+        db.engine.checkpoint()           # flushed unstamped? maybe stamped
+        before = counts(db).get("NEW_TUPLE", 0)
+        db.engine.run_stamper()
+        db.engine.checkpoint()           # the stamped rewrite is not "new"
+        assert counts(db).get("NEW_TUPLE", 0) == before
+
+    def test_steal_then_abort_yields_undo(self, tmp_path):
+        db = make_db(tmp_path)
+        txn = db.begin()
+        db.insert(txn, "rows", {"k": 1, "v": "doomed"})
+        db.engine.checkpoint()           # steal: uncommitted tuple on disk
+        db.abort(txn)
+        db.engine.checkpoint()           # undo write-back
+        c = counts(db)
+        assert c.get("ABORT", 0) == 1
+        assert c.get("UNDO", 0) == 1
+
+    def test_log_consistent_mode_emits_no_undo_or_read(self, tmp_path):
+        db = make_db(tmp_path, mode=ComplianceMode.LOG_CONSISTENT)
+        txn = db.begin()
+        db.insert(txn, "rows", {"k": 1, "v": "doomed"})
+        db.engine.checkpoint()
+        db.abort(txn)
+        db.engine.checkpoint()
+        db.engine.buffer.drop_all()
+        db.get("rows", (1,))             # disk read
+        c = counts(db)
+        assert "UNDO" not in c
+        assert "READ_HASH" not in c
+
+    def test_read_hash_only_on_cache_miss(self, tmp_path):
+        db = make_db(tmp_path)
+        for k in range(5):
+            with db.transaction() as txn:
+                db.insert(txn, "rows", {"k": k, "v": "x"})
+        db.engine.checkpoint()
+        db.engine.buffer.drop_all()
+        db.get("rows", (1,))
+        after_miss = counts(db).get("READ_HASH", 0)
+        assert after_miss > 0
+        db.get("rows", (1,))             # warm: no pread, no record
+        assert counts(db).get("READ_HASH", 0) == after_miss
+
+    def test_split_contents_logged(self, tmp_path):
+        db = make_db(tmp_path)
+        for k in range(100):
+            with db.transaction() as txn:
+                db.insert(txn, "rows", {"k": k, "v": "padding" * 4})
+        c = counts(db)
+        assert c.get("PAGE_SPLIT", 0) >= 1
+        splits = [r for _, r in db.clog.records()
+                  if r.rtype == CLogType.PAGE_SPLIT and not r.is_index]
+        event = splits[0]
+        assert event.left_content and event.right_content
+        assert event.sep_key  # the separator routed to the parent
+
+
+class TestMaintenance:
+    def test_noop_within_interval(self, tmp_path):
+        db = make_db(tmp_path)
+        assert db.maintenance() is False
+        assert db.maintenance(force=True) is True
+
+    def test_witness_per_interval(self, tmp_path):
+        db = make_db(tmp_path)
+        for _ in range(3):
+            db.clock.advance(minutes(6))
+            assert db.maintenance() is True
+        names = db.worm.list_files("witness/")
+        assert len(names) == 3
+        assert all(n.startswith("witness/epoch-000001-") for n in names)
+
+    def test_heartbeat_only_when_idle(self, tmp_path):
+        db = make_db(tmp_path)
+        db.clock.advance(minutes(6))
+        with db.transaction() as txn:
+            db.insert(txn, "rows", {"k": 1, "v": "x"})  # recent commit
+        db.maintenance()
+        heartbeats = [r for _, r in db.clog.records()
+                      if r.rtype == CLogType.STAMP_TRANS and r.heartbeat]
+        assert heartbeats == []
+        db.clock.advance(minutes(6))
+        db.maintenance()
+        heartbeats = [r for _, r in db.clog.records()
+                      if r.rtype == CLogType.STAMP_TRANS and r.heartbeat]
+        assert len(heartbeats) == 1
+
+    def test_maintenance_flushes_dirty_pages(self, tmp_path):
+        db = make_db(tmp_path)
+        with db.transaction() as txn:
+            db.insert(txn, "rows", {"k": 1, "v": "x"})
+        assert db.engine.buffer.dirty_pgnos()
+        db.clock.advance(minutes(6))
+        db.maintenance()
+        assert db.engine.buffer.dirty_pgnos() == []
+
+
+class TestSnapshots:
+    def test_round_trip(self, tmp_path):
+        db = make_db(tmp_path)
+        for k in range(20):
+            with db.transaction() as txn:
+                db.insert(txn, "rows", {"k": k, "v": f"v{k}"})
+        db.prepare_for_audit()
+        key = AuditorKey.generate("snap-test")
+        written = write_snapshot(db.worm, key, db.engine, epoch=77)
+        loaded = load_snapshot(db.worm, key, epoch=77)
+        assert loaded.tuple_count == written.tuple_count
+        assert loaded.add_hash == written.add_hash
+        assert loaded.leaf_pages.keys() == written.leaf_pages.keys()
+        flat = sorted(v.to_bytes() for v in loaded.all_tuples())
+        assert len(flat) == loaded.tuple_count
+
+    def test_signature_enforced(self, tmp_path):
+        from repro.common.errors import SnapshotError
+        db = make_db(tmp_path)
+        db.prepare_for_audit()
+        key = AuditorKey.generate("signer")
+        write_snapshot(db.worm, key, db.engine, epoch=78)
+        with pytest.raises(SnapshotError):
+            load_snapshot(db.worm, AuditorKey.generate("impostor"),
+                          epoch=78)
+
+    def test_unstamped_tuples_rejected(self, tmp_path):
+        from repro.common.errors import SnapshotError
+        db = make_db(tmp_path)
+        with db.transaction() as txn:
+            db.insert(txn, "rows", {"k": 1, "v": "x"})
+        db.engine.checkpoint()  # flushed but not stamped
+        if db.engine.pending_stamp_count:
+            with pytest.raises(SnapshotError):
+                write_snapshot(db.worm, AuditorKey.generate("x"),
+                               db.engine, epoch=79)

@@ -1,0 +1,154 @@
+"""Unit tests for temporal support modules: historical directory, hist
+page codec, catalog serialisation, config validation, bench helpers."""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.common.codec import Field, FieldType, Schema, encode_key
+from repro.common.config import (ComplianceConfig, ComplianceMode,
+                                 DBConfig, EngineConfig)
+from repro.common.errors import ConfigError, StorageError
+from repro.storage.record import TupleVersion
+from repro.temporal.catalog import (CATALOG_SCHEMA, RelationInfo,
+                                    schema_from_json, schema_to_json)
+from repro.temporal.history import (HistoricalDirectory, HistPageRef,
+                                    decode_hist_page, encode_hist_page)
+
+
+def tv(key, start):
+    return TupleVersion(relation_id=3, key=encode_key((key,)), start=start,
+                        stamped=True, eol=False, seq=0, payload=b"p")
+
+
+class TestHistPageCodec:
+    def test_round_trip(self):
+        entries = [tv(1, 10), tv(1, 20), tv(2, 5)]
+        assert decode_hist_page(encode_hist_page(entries)) == entries
+
+    def test_empty_page(self):
+        assert decode_hist_page(encode_hist_page([])) == []
+
+    def test_bad_magic(self):
+        with pytest.raises(StorageError):
+            decode_hist_page(b"XXXX\x00\x00\x00\x00")
+
+    def test_trailing_garbage(self):
+        raw = encode_hist_page([tv(1, 10)])
+        with pytest.raises(StorageError):
+            decode_hist_page(raw + b"junk")
+
+
+class TestHistoricalDirectory:
+    def make_ref(self, ref="hist/r3-000001", lo=1, hi=9):
+        return HistPageRef(ref=ref, relation_id=3, leaf_pgno=4,
+                           split_time=100, lo_key=encode_key((lo,)).hex(),
+                           hi_key=encode_key((hi,)).hex(), count=5)
+
+    def test_add_and_lookup(self, tmp_path):
+        directory = HistoricalDirectory(tmp_path / "hist.json")
+        directory.add(self.make_ref())
+        assert directory.page_count() == 1
+        assert directory.page_count(3) == 1
+        assert directory.page_count(4) == 0
+        hits = directory.lookup(3, encode_key((5,)))
+        assert len(hits) == 1
+        assert directory.lookup(3, encode_key((50,))) == []
+        assert directory.lookup(9, encode_key((5,))) == []
+
+    def test_key_bounds_inclusive(self, tmp_path):
+        directory = HistoricalDirectory(tmp_path / "hist.json")
+        directory.add(self.make_ref(lo=2, hi=8))
+        assert directory.lookup(3, encode_key((2,)))
+        assert directory.lookup(3, encode_key((8,)))
+        assert not directory.lookup(3, encode_key((1,)))
+        assert not directory.lookup(3, encode_key((9,)))
+
+    def test_next_ref_monotone_and_persistent(self, tmp_path):
+        directory = HistoricalDirectory(tmp_path / "hist.json")
+        first = directory.next_ref(3)
+        directory.add(self.make_ref(ref=first))
+        reloaded = HistoricalDirectory(tmp_path / "hist.json")
+        second = reloaded.next_ref(3)
+        assert second != first
+
+    def test_replace_and_remove(self, tmp_path):
+        directory = HistoricalDirectory(tmp_path / "hist.json")
+        directory.add(self.make_ref(ref="hist/r3-000001"))
+        directory.replace("hist/r3-000001",
+                          self.make_ref(ref="hist/r3-000002"))
+        assert not directory.has_ref("hist/r3-000001")
+        assert directory.has_ref("hist/r3-000002")
+        directory.replace("hist/r3-000002", None)
+        assert directory.page_count() == 0
+
+    def test_persistence_round_trip(self, tmp_path):
+        directory = HistoricalDirectory(tmp_path / "hist.json")
+        directory.add(self.make_ref())
+        reloaded = HistoricalDirectory(tmp_path / "hist.json")
+        assert reloaded.all_entries() == directory.all_entries()
+
+
+class TestCatalogSerialisation:
+    def test_schema_json_round_trip(self):
+        schema = Schema("t", [Field("a", FieldType.INT),
+                              Field("b", FieldType.STR),
+                              Field("c", FieldType.FLOAT),
+                              Field("d", FieldType.BYTES)], ["a", "b"])
+        restored = schema_from_json(schema_to_json(schema))
+        assert restored.name == schema.name
+        assert restored.key_fields == schema.key_fields
+        assert [(f.name, f.ftype) for f in restored.fields] == \
+            [(f.name, f.ftype) for f in schema.fields]
+
+    def test_relation_info_round_trip(self):
+        schema = Schema("t", [Field("a", FieldType.INT)], ["a"])
+        info = RelationInfo("t", 5, 17, True, schema)
+        row = info.catalog_row()
+        CATALOG_SCHEMA.encode_payload(row)  # must be encodable
+        restored = RelationInfo.from_catalog_row(row)
+        assert restored.name == "t"
+        assert restored.relation_id == 5
+        assert restored.root_pgno == 17
+        assert restored.use_tsb is True
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        DBConfig().validate()
+
+    def test_bad_page_size(self):
+        with pytest.raises(ConfigError):
+            DBConfig(engine=EngineConfig(page_size=64)).validate()
+
+    def test_bad_buffer(self):
+        with pytest.raises(ConfigError):
+            DBConfig(engine=EngineConfig(buffer_pages=2)).validate()
+
+    def test_bad_regret(self):
+        with pytest.raises(ConfigError):
+            DBConfig(compliance=ComplianceConfig(
+                regret_interval=0)).validate()
+
+    def test_bad_threshold(self):
+        with pytest.raises(ConfigError):
+            DBConfig(compliance=ComplianceConfig(
+                split_threshold=2.0)).validate()
+
+    def test_modes_enumerated(self):
+        assert {m.value for m in ComplianceMode} == \
+            {"regular", "log-consistent", "hash-on-read"}
+
+
+class TestBenchReport:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["col", "x"],
+                            [["a", 1], ["long-cell", 2.5]], note="n")
+        lines = text.splitlines()
+        assert lines[2].startswith("col")  # [0] blank, [1] title
+        assert "long-cell" in text
+        assert "2.500" in text
+        assert "note: n" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table("T", ["a"], [])
+        assert "== T ==" in text

@@ -1,0 +1,214 @@
+"""Tests for the TPC-C workload: loader invariants, transaction semantics,
+mix, and a full compliant run ending in a clean audit."""
+
+import pytest
+
+from repro import (Auditor, ComplianceConfig, ComplianceMode, CompliantDB,
+                   DBConfig, EngineConfig, SimulatedClock, minutes)
+from repro.tpcc import (ALL_SCHEMAS, DriverResult, TPCCDriver, TPCCLoader,
+                        TPCCScale, TPCCTransactions, last_name)
+
+
+def make_db(tmp_path, mode=ComplianceMode.REGULAR, buffer_pages=128):
+    clock = SimulatedClock()
+    config = DBConfig(engine=EngineConfig(page_size=2048,
+                                          buffer_pages=buffer_pages),
+                      compliance=ComplianceConfig(
+                          regret_interval=minutes(5)))
+    return CompliantDB.create(tmp_path / "db", clock=clock, mode=mode,
+                              config=config)
+
+
+@pytest.fixture(scope="module")
+def loaded(tmp_path_factory):
+    """One tiny loaded database shared by the read-only checks."""
+    db = make_db(tmp_path_factory.mktemp("tpcc"))
+    scale = TPCCScale.tiny()
+    TPCCLoader(db, scale, seed=1).load()
+    return db, scale
+
+
+class TestLoader:
+    def test_cardinalities(self, loaded):
+        db, scale = loaded
+        counts = {s.name: db.engine.count_rows(s.name)
+                  for s in ALL_SCHEMAS}
+        assert counts["warehouse"] == scale.warehouses
+        assert counts["district"] == (scale.warehouses *
+                                      scale.districts_per_warehouse)
+        assert counts["customer"] == (scale.warehouses *
+                                      scale.districts_per_warehouse *
+                                      scale.customers_per_district)
+        assert counts["item"] == scale.items
+        assert counts["stock"] == scale.warehouses * scale.items
+        assert counts["orders"] == (scale.warehouses *
+                                    scale.districts_per_warehouse *
+                                    scale.initial_orders_per_district)
+        assert counts["history"] == counts["customer"]
+        assert counts["order_line"] > counts["orders"] * 4
+
+    def test_undelivered_backlog(self, loaded):
+        db, scale = loaded
+        pending = db.engine.count_rows("new_order")
+        per_district = scale.initial_orders_per_district - \
+            scale.initial_orders_per_district * 2 // 3
+        assert pending == (scale.warehouses *
+                           scale.districts_per_warehouse * per_district)
+
+    def test_district_next_o_id(self, loaded):
+        db, scale = loaded
+        district = db.get("district", (1, 1))
+        assert district["d_next_o_id"] == \
+            scale.initial_orders_per_district + 1
+
+    def test_deterministic(self, tmp_path):
+        first = make_db(tmp_path / "a")
+        second = make_db(tmp_path / "b")
+        TPCCLoader(first, TPCCScale.tiny(), seed=9).load()
+        TPCCLoader(second, TPCCScale.tiny(), seed=9).load()
+        assert first.get("customer", (1, 1, 3)) == \
+            second.get("customer", (1, 1, 3))
+        assert first.get("item", (7,)) == second.get("item", (7,))
+
+    def test_last_name_rule(self):
+        assert last_name(0) == "BARBARBAR"
+        assert last_name(371) == "PRICALLYOUGHT"
+        assert last_name(999) == "EINGEINGEING"
+
+
+class TestTransactions:
+    @pytest.fixture
+    def fresh(self, tmp_path):
+        db = make_db(tmp_path)
+        scale = TPCCScale.tiny()
+        TPCCLoader(db, scale, seed=2).load()
+        return db, scale, TPCCTransactions(db, scale, seed=3)
+
+    def test_new_order_creates_rows(self, fresh):
+        db, scale, txns = fresh
+        before = db.engine.count_rows("orders")
+        outcomes = [txns.new_order() for _ in range(10)]
+        committed = sum(1 for o in outcomes if o.committed)
+        assert db.engine.count_rows("orders") == before + committed
+        assert committed >= 8  # ~1% rollback rate
+
+    def test_new_order_advances_district_counter(self, fresh):
+        db, scale, txns = fresh
+        before = {d: db.get("district", (1, d))["d_next_o_id"]
+                  for d in range(1, scale.districts_per_warehouse + 1)}
+        committed = sum(1 for _ in range(10) if txns.new_order().committed)
+        after = {d: db.get("district", (1, d))["d_next_o_id"]
+                 for d in range(1, scale.districts_per_warehouse + 1)}
+        assert sum(after.values()) - sum(before.values()) == committed
+
+    def test_new_order_updates_stock(self, fresh):
+        db, scale, txns = fresh
+        total_before = sum(
+            row["s_ytd"] for _, row in db.scan("stock"))
+        for _ in range(5):
+            txns.new_order()
+        total_after = sum(
+            row["s_ytd"] for _, row in db.scan("stock"))
+        assert total_after > total_before
+
+    def test_rollback_leaves_no_trace(self, fresh):
+        db, scale, txns = fresh
+        txns._rng.random = lambda: 0.0  # force the 1% rollback branch
+        before_orders = db.engine.count_rows("orders")
+        before_no = db.engine.count_rows("new_order")
+        outcome = txns.new_order()
+        assert not outcome.committed
+        assert db.engine.count_rows("orders") == before_orders
+        assert db.engine.count_rows("new_order") == before_no
+
+    def test_payment_moves_money(self, fresh):
+        db, scale, txns = fresh
+        ytd_before = db.get("warehouse", (1,))["w_ytd"]
+        outcome = txns.payment()
+        assert outcome.committed
+        assert db.get("warehouse", (1,))["w_ytd"] > ytd_before
+
+    def test_payment_history_grows(self, fresh):
+        db, scale, txns = fresh
+        before = db.engine.count_rows("history")
+        for _ in range(5):
+            assert txns.payment().committed
+        assert db.engine.count_rows("history") == before + 5
+
+    def test_order_status_read_only(self, fresh):
+        db, scale, txns = fresh
+        counts = {s.name: db.engine.count_rows(s.name)
+                  for s in ALL_SCHEMAS}
+        assert txns.order_status().committed
+        assert counts == {s.name: db.engine.count_rows(s.name)
+                          for s in ALL_SCHEMAS}
+
+    def test_delivery_clears_backlog(self, fresh):
+        db, scale, txns = fresh
+        pending_before = db.engine.count_rows("new_order")
+        assert pending_before > 0
+        assert txns.delivery().committed
+        pending_after = db.engine.count_rows("new_order")
+        assert pending_after == pending_before - \
+            scale.districts_per_warehouse
+
+    def test_delivery_pays_customer(self, fresh):
+        db, scale, txns = fresh
+        # place fresh orders (with real line amounts), then deliver them
+        for _ in range(6):
+            txns.new_order()
+        deliveries_before = sum(row["c_delivery_cnt"]
+                                for _, row in db.scan("customer"))
+        balances_before = sum(row["c_balance"]
+                              for _, row in db.scan("customer"))
+        while db.engine.count_rows("new_order"):
+            assert txns.delivery().committed
+        deliveries_after = sum(row["c_delivery_cnt"]
+                               for _, row in db.scan("customer"))
+        balances_after = sum(row["c_balance"]
+                             for _, row in db.scan("customer"))
+        assert deliveries_after > deliveries_before
+        assert balances_after > balances_before
+
+    def test_stock_level_runs(self, fresh):
+        db, scale, txns = fresh
+        outcome = txns.stock_level()
+        assert outcome.committed
+        assert outcome.detail.startswith("low=")
+
+
+class TestDriver:
+    def test_mix_roughly_standard(self, tmp_path):
+        db = make_db(tmp_path)
+        scale = TPCCScale.tiny()
+        TPCCLoader(db, scale, seed=4).load()
+        driver = TPCCDriver(db, scale, seed=5)
+        result = driver.run(200)
+        assert result.transactions == 200
+        assert result.committed + result.rolled_back == 200
+        share = result.by_kind.get("new_order", 0) / 200
+        assert 0.35 < share < 0.55
+        assert result.by_kind.get("payment", 0) > 50
+
+    def test_full_compliant_run_audits_clean(self, tmp_path):
+        db = make_db(tmp_path, mode=ComplianceMode.HASH_ON_READ,
+                     buffer_pages=48)
+        scale = TPCCScale.tiny()
+        TPCCLoader(db, scale, seed=6).load()
+        from repro import seconds
+        driver = TPCCDriver(db, scale, seed=6,
+                            simulated_txn_gap=seconds(3))
+        result = driver.run(150)
+        assert result.maintenance_runs > 0  # regret intervals elapsed
+        report = Auditor(db).audit()
+        assert report.ok, report.summary()
+        assert report.final_tuples > 500
+
+    def test_log_consistent_run_audits_clean(self, tmp_path):
+        db = make_db(tmp_path, mode=ComplianceMode.LOG_CONSISTENT,
+                     buffer_pages=48)
+        scale = TPCCScale.tiny()
+        TPCCLoader(db, scale, seed=8).load()
+        TPCCDriver(db, scale, seed=8).run(150)
+        report = Auditor(db).audit()
+        assert report.ok, report.summary()

@@ -1,0 +1,202 @@
+"""Tests for the time-split B+-tree and the structural integrity checker."""
+
+import pytest
+
+from repro.btree import TSBTree, check_tree
+from repro.btree.events import TimeSplitEvent
+from repro.common.clock import SimulatedClock
+from repro.common.codec import encode_key
+from repro.storage import BufferCache, Pager, TupleVersion
+
+PAGE_SIZE = 512
+
+
+def tv(key, start, stamped=True, payload=b"p"):
+    return TupleVersion(relation_id=1, key=encode_key((key,)), start=start,
+                        stamped=stamped, eol=False, seq=0, payload=payload)
+
+
+class MigrationRecorder:
+    """Captures time-split events as the engine's migrate callback would."""
+
+    def __init__(self):
+        self.events = []
+
+    def __call__(self, event: TimeSplitEvent) -> str:
+        self.events.append(event)
+        return f"migrated/p{event.leaf_pgno}-{len(self.events)}"
+
+
+def make_tsb(tmp_path, threshold, clock=None):
+    clock = clock or SimulatedClock()
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    pager = Pager(tmp_path / "db", PAGE_SIZE)
+    buffer = BufferCache(pager, 64)
+    recorder = MigrationRecorder()
+    tree = TSBTree.create_tsb(
+        buffer, PAGE_SIZE, relation_id=1, split_threshold=threshold,
+        now=clock.now, resolve_start=lambda t: t.start if t.stamped else
+        None, migrate=recorder)
+    return tree, buffer, recorder, clock
+
+
+class TestSplitPolicy:
+    def test_skewed_updates_trigger_time_splits(self, tmp_path):
+        # one hot key updated many times: distinct fraction ~0 < threshold
+        tree, buffer, recorder, clock = make_tsb(tmp_path, threshold=0.5)
+        for i in range(1, 200):
+            tree.insert(tv(1, start=clock.tick()))
+        assert tree.time_splits > 0
+        assert recorder.events, "history should have migrated"
+
+    def test_uniform_inserts_never_time_split(self, tmp_path):
+        # all-distinct keys: fraction 1.0, never below any threshold <= 1
+        tree, buffer, recorder, clock = make_tsb(tmp_path, threshold=0.9)
+        for key in range(300):
+            tree.insert(tv(key, start=clock.tick()))
+        assert tree.time_splits == 0
+        assert tree.key_splits > 0
+        assert recorder.events == []
+
+    def test_threshold_zero_disables_time_splits(self, tmp_path):
+        tree, buffer, recorder, clock = make_tsb(tmp_path, threshold=0.0)
+        for i in range(200):
+            tree.insert(tv(1, start=clock.tick()))
+        assert tree.time_splits == 0
+
+    def test_single_update_per_key_needs_high_threshold(self, tmp_path):
+        # ORDER_LINE-like: each key has exactly 2 versions, fraction = 0.5,
+        # so threshold 0.5 (not <) must key-split, 0.8 must time-split.
+        for threshold, expect_time in [(0.5, False), (0.8, True)]:
+            tree, buffer, recorder, clock = make_tsb(
+                tmp_path / f"t{threshold}", threshold)
+            for key in range(150):
+                tree.insert(tv(key, start=clock.tick()))
+                tree.insert(tv(key, start=clock.tick()))
+            assert (tree.time_splits > 0) == expect_time
+
+    def test_migrated_history_removed_from_live_tree(self, tmp_path):
+        tree, buffer, recorder, clock = make_tsb(tmp_path, threshold=0.5)
+        for i in range(200):
+            tree.insert(tv(1, start=clock.tick()))
+        live = tree.versions(encode_key((1,)))
+        migrated = sum(len(e.hist_entries) for e in recorder.events)
+        assert len(live) + migrated == 200
+        # the newest version always stays live
+        all_starts = [v.start for v in live]
+        for event in recorder.events:
+            assert max(all_starts) > max(
+                h.start for h in event.hist_entries)
+
+    def test_hist_union_live_covers_presplit_page(self, tmp_path):
+        # no version is ever lost: everything inserted is either live in
+        # the tree or recorded in exactly one migration event
+        tree, buffer, recorder, clock = make_tsb(tmp_path, threshold=0.5)
+        inserted = set()
+        for i in range(100):
+            record = tree.insert(tv(1, start=clock.tick()))
+            inserted.add((record.key, record.start))
+        live = {(e.key, e.start) for e in tree.iter_entries()}
+        hist = [(h.key, h.start) for event in recorder.events
+                for h in event.hist_entries]
+        assert len(hist) == len(set(hist)), "a version migrated twice"
+        assert live | set(hist) == inserted
+        assert live & set(hist) == set()
+
+    def test_unstamped_versions_never_migrate(self, tmp_path):
+        tree, buffer, recorder, clock = make_tsb(tmp_path, threshold=0.9)
+        for i in range(60):
+            tree.insert(tv(1, start=clock.tick(), stamped=False))
+        for event in recorder.events:
+            assert event.hist_entries == []
+        # all versions still live
+        assert len(tree.versions(encode_key((1,)))) == 60
+
+    def test_migration_events_describe_directory_entries(self, tmp_path):
+        # the engine's historical directory is built from these events: each
+        # must carry the leaf, the split time, and a non-empty hist set
+        tree, buffer, recorder, clock = make_tsb(tmp_path, threshold=0.5)
+        for i in range(200):
+            tree.insert(tv(1, start=clock.tick()))
+        assert recorder.events
+        for event in recorder.events:
+            assert event.hist_entries
+            assert event.split_time <= clock.now()
+            assert all(h.start < event.split_time
+                       for h in event.hist_entries)
+            assert event.relation_id == 1
+
+    def test_structure_valid_after_mixed_splits(self, tmp_path):
+        tree, buffer, recorder, clock = make_tsb(tmp_path, threshold=0.5)
+        for key in range(50):
+            for _ in range(5):
+                tree.insert(tv(key % 7, start=clock.tick()))
+            tree.insert(tv(100 + key, start=clock.tick()))
+        assert check_tree(lambda p: buffer.get(p), tree.root_pgno) == []
+
+    def test_time_split_counts_feed_fig4(self, tmp_path):
+        # higher threshold => more time splits for an update-heavy workload
+        counts = {}
+        for threshold in (0.2, 0.5, 0.9):
+            tree, buffer, recorder, clock = make_tsb(
+                tmp_path / f"wl{threshold}", threshold)
+            for i in range(300):
+                tree.insert(tv(i % 10, start=clock.tick()))
+            counts[threshold] = tree.time_splits
+        assert counts[0.2] <= counts[0.5] <= counts[0.9]
+
+    def test_invalid_threshold_rejected(self, tmp_path):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError):
+            make_tsb(tmp_path, threshold=1.5)
+
+
+class TestIntegrityChecker:
+    def test_detects_swapped_leaf_entries(self, tmp_path):
+        # the Fig. 2(b) attack
+        tree, buffer, recorder, clock = make_tsb(tmp_path, threshold=0.0)
+        for key in range(100):
+            tree.insert(tv(key, start=1))
+        leaf_pgno = tree.leaf_pgnos()[0]
+        leaf = buffer.get(leaf_pgno)
+        leaf.entries[0], leaf.entries[2] = leaf.entries[2], leaf.entries[0]
+        issues = check_tree(lambda p: buffer.get(p), tree.root_pgno)
+        assert any(i.kind == "slot-order" for i in issues)
+
+    def test_detects_tampered_separator(self, tmp_path):
+        # the Fig. 2(c) attack: an internal key changed to hide a tuple
+        tree, buffer, recorder, clock = make_tsb(tmp_path, threshold=0.0)
+        for key in range(200):
+            tree.insert(tv(key, start=1))
+        root = buffer.get(tree.root_pgno)
+        assert root.is_internal()
+        key_, start_ = root.seps[0]
+        root.seps[0] = (encode_key((10_000,)), start_)
+        issues = check_tree(lambda p: buffer.get(p), tree.root_pgno)
+        assert issues, "tampered separator must be detected"
+
+    def test_detects_version_thread_violation(self, tmp_path):
+        tree, buffer, recorder, clock = make_tsb(tmp_path, threshold=0.0)
+        for start in (10, 20, 30):
+            tree.insert(tv(1, start=start))
+        leaf = buffer.get(tree.leaf_pgnos()[0])
+        leaf.entries[0], leaf.entries[1] = leaf.entries[1], leaf.entries[0]
+        issues = check_tree(lambda p: buffer.get(p), tree.root_pgno)
+        assert any(i.kind == "version-threading" for i in issues)
+
+    def test_detects_broken_leaf_chain(self, tmp_path):
+        tree, buffer, recorder, clock = make_tsb(tmp_path, threshold=0.0)
+        for key in range(100):
+            tree.insert(tv(key, start=1))
+        pgnos = tree.leaf_pgnos()
+        assert len(pgnos) >= 2
+        first = buffer.get(pgnos[0])
+        first.next_leaf = pgnos[-1] if len(pgnos) > 2 else -1
+        issues = check_tree(lambda p: buffer.get(p), tree.root_pgno)
+        assert any(i.kind == "leaf-chain" for i in issues)
+
+    def test_clean_tree_has_no_issues(self, tmp_path):
+        tree, buffer, recorder, clock = make_tsb(tmp_path, threshold=0.5)
+        for key in range(400):
+            tree.insert(tv(key % 40, start=clock.tick()))
+        assert check_tree(lambda p: buffer.get(p), tree.root_pgno) == []

@@ -1,0 +1,148 @@
+"""Tests for the lock table and transaction manager."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import LockConflictError, TransactionStateError
+from repro.txn import LockMode, LockTable, TransactionManager, TxnState
+from repro.wal import TransactionLog, WalRecordType
+
+
+class TestLockTable:
+    def test_exclusive_blocks_others(self):
+        table = LockTable()
+        table.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError):
+            table.acquire(2, "r", LockMode.SHARED)
+        with pytest.raises(LockConflictError):
+            table.acquire(2, "r", LockMode.EXCLUSIVE)
+
+    def test_shared_is_compatible(self):
+        table = LockTable()
+        table.acquire(1, "r", LockMode.SHARED)
+        table.acquire(2, "r", LockMode.SHARED)
+        assert table.holders("r") == {1, 2}
+
+    def test_reacquire_is_noop(self):
+        table = LockTable()
+        table.acquire(1, "r", LockMode.EXCLUSIVE)
+        table.acquire(1, "r", LockMode.EXCLUSIVE)
+        table.acquire(1, "r", LockMode.SHARED)  # weaker request: still held
+        assert table.holders("r") == {1}
+
+    def test_sole_holder_upgrade(self):
+        table = LockTable()
+        table.acquire(1, "r", LockMode.SHARED)
+        table.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockConflictError):
+            table.acquire(2, "r", LockMode.SHARED)
+
+    def test_upgrade_blocked_by_other_reader(self):
+        table = LockTable()
+        table.acquire(1, "r", LockMode.SHARED)
+        table.acquire(2, "r", LockMode.SHARED)
+        with pytest.raises(LockConflictError):
+            table.acquire(1, "r", LockMode.EXCLUSIVE)
+
+    def test_release_all_frees_resources(self):
+        table = LockTable()
+        table.acquire(1, "a", LockMode.EXCLUSIVE)
+        table.acquire(1, "b", LockMode.SHARED)
+        table.release_all(1)
+        assert table.holders("a") == set()
+        table.acquire(2, "a", LockMode.EXCLUSIVE)
+
+    def test_shared_release_keeps_other_holders(self):
+        table = LockTable()
+        table.acquire(1, "r", LockMode.SHARED)
+        table.acquire(2, "r", LockMode.SHARED)
+        table.release_all(1)
+        assert table.holders("r") == {2}
+        assert table.held_by(2) == {"r"}
+
+
+@pytest.fixture
+def manager(tmp_path, clock):
+    wal = TransactionLog(tmp_path / "wal.log")
+    return TransactionManager(clock, wal), wal
+
+
+class TestTransactionManager:
+    def test_begin_assigns_increasing_ids(self, manager):
+        mgr, _ = manager
+        first, second = mgr.begin(), mgr.begin()
+        assert second.txn_id > first.txn_id
+        assert mgr.active_count == 2
+
+    def test_commit_is_durable_and_ordered(self, manager):
+        mgr, wal = manager
+        txn = mgr.begin()
+        commit_time = mgr.commit(txn)
+        assert commit_time > txn.txn_id
+        records = list(wal.iter_records())
+        assert [r.rtype for r in records] == \
+            [WalRecordType.BEGIN, WalRecordType.COMMIT]
+        assert records[-1].commit_time == commit_time
+        assert txn.state is TxnState.COMMITTED
+        assert mgr.active_count == 0
+
+    def test_commit_listener_fires_after_commit(self, manager):
+        mgr, wal = manager
+        events = []
+        mgr.on_commit.append(
+            lambda txn, ct: events.append((txn.txn_id, ct,
+                                           wal.flushed_lsn)))
+        txn = mgr.begin()
+        commit_time = mgr.commit(txn)
+        assert events == [(txn.txn_id, commit_time, wal.flushed_lsn)]
+
+    def test_abort_runs_undo_then_logs(self, manager):
+        mgr, wal = manager
+        order = []
+        mgr.undo_callback = lambda txn: order.append("undo")
+        mgr.on_abort.append(lambda txn: order.append("listener"))
+        txn = mgr.begin()
+        mgr.abort(txn)
+        assert order == ["undo", "listener"]
+        assert txn.state is TxnState.ABORTED
+        types = [r.rtype for r in wal.iter_records()]
+        assert types == [WalRecordType.BEGIN, WalRecordType.ABORT]
+
+    def test_double_commit_rejected(self, manager):
+        mgr, _ = manager
+        txn = mgr.begin()
+        mgr.commit(txn)
+        with pytest.raises(TransactionStateError):
+            mgr.commit(txn)
+        with pytest.raises(TransactionStateError):
+            mgr.abort(txn)
+
+    def test_locks_released_on_commit(self, manager):
+        mgr, _ = manager
+        txn = mgr.begin()
+        mgr.locks.acquire(txn.txn_id, "row", LockMode.EXCLUSIVE)
+        mgr.commit(txn)
+        other = mgr.begin()
+        mgr.locks.acquire(other.txn_id, "row", LockMode.EXCLUSIVE)
+
+    def test_resolve_start(self, manager):
+        mgr, _ = manager
+        txn = mgr.begin()
+        assert mgr.resolve_start(txn.txn_id, stamped=False) is None
+        commit_time = mgr.commit(txn)
+        assert mgr.resolve_start(txn.txn_id, stamped=False) == commit_time
+        assert mgr.resolve_start(12345, stamped=True) == 12345
+
+    def test_crash_reset_clears_state(self, manager):
+        mgr, _ = manager
+        txn = mgr.begin()
+        mgr.locks.acquire(txn.txn_id, "row", LockMode.EXCLUSIVE)
+        mgr.crash_reset()
+        assert mgr.active_count == 0
+        assert mgr.locks.holders("row") == set()
+
+    def test_commit_times_strictly_increasing(self, manager):
+        mgr, _ = manager
+        times = [mgr.commit(mgr.begin()) for _ in range(10)]
+        assert times == sorted(times)
+        assert len(set(times)) == 10

@@ -1,0 +1,153 @@
+"""Tests for the simulated WORM compliance storage server."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock, minutes, years
+from repro.common.errors import (WormError, WormFileExistsError,
+                                 WormFileNotFoundError, WormViolationError)
+from repro.crypto import AuditorKey
+from repro.worm import WormServer
+
+
+class TestCreateAndRead:
+    def test_create_and_read_back(self, worm):
+        worm.create_file("a/b/doc.txt", b"hello")
+        assert worm.read("a/b/doc.txt") == b"hello"
+        assert worm.size("a/b/doc.txt") == 5
+
+    def test_create_time_from_compliance_clock(self, clock, worm):
+        before = clock.now()
+        worm.create_file("stamp", b"x")
+        meta = worm.meta("stamp")
+        assert meta.create_time == before
+
+    def test_empty_witness_file(self, worm):
+        worm.create_file("witness-1")
+        assert worm.read("witness-1") == b""
+        assert worm.exists("witness-1")
+
+    def test_duplicate_name_rejected(self, worm):
+        worm.create_file("doc", b"v1")
+        with pytest.raises(WormFileExistsError):
+            worm.create_file("doc", b"v2")
+
+    def test_missing_file(self, worm):
+        with pytest.raises(WormFileNotFoundError):
+            worm.read("nope")
+
+    def test_bad_names_rejected(self, worm):
+        for bad in ["", "../escape", "a//b", "/abs", "sp ace"]:
+            with pytest.raises(WormError):
+                worm.create_file(bad, b"x")
+
+    def test_list_files_prefix(self, worm):
+        worm.create_file("logs/l1", b"x")
+        worm.create_file("logs/l2", b"x")
+        worm.create_file("snap/s1", b"x")
+        assert worm.list_files("logs/") == ["logs/l1", "logs/l2"]
+        assert len(worm.list_files()) == 3
+
+
+class TestImmutability:
+    def test_regular_file_not_appendable(self, worm):
+        worm.create_file("doc", b"committed")
+        with pytest.raises(WormViolationError):
+            worm.append("doc", b"more")
+
+    def test_append_file_grows_and_offsets(self, worm):
+        worm.create_append_file("log")
+        assert worm.append("log", b"aaa") == 0
+        assert worm.append("log", b"bb") == 3
+        assert worm.read("log") == b"aaabb"
+
+    def test_partial_read(self, worm):
+        worm.create_append_file("log")
+        worm.append("log", b"0123456789")
+        assert worm.read("log", offset=3, length=4) == b"3456"
+
+    def test_sealed_log_rejects_append(self, worm):
+        worm.create_append_file("log")
+        worm.append("log", b"x")
+        worm.seal("log")
+        with pytest.raises(WormViolationError):
+            worm.append("log", b"y")
+        assert worm.read("log") == b"x"
+
+    def test_seal_idempotent(self, worm):
+        worm.create_append_file("log")
+        worm.seal("log")
+        worm.seal("log")
+
+    def test_early_delete_rejected(self, clock, worm):
+        worm.create_file("doc", b"keep me", retention=years(7))
+        clock.advance(years(6))
+        with pytest.raises(WormViolationError):
+            worm.delete("doc")
+        assert worm.exists("doc")
+
+    def test_delete_after_retention(self, clock, worm):
+        worm.create_file("doc", b"temp", retention=minutes(5))
+        assert not worm.is_expired("doc")
+        clock.advance(minutes(6))
+        assert worm.is_expired("doc")
+        worm.delete("doc")
+        assert not worm.exists("doc")
+
+    def test_zero_retention_rejected(self, worm):
+        with pytest.raises(WormError):
+            worm.create_file("doc", b"x", retention=0)
+
+
+class TestPersistence:
+    def test_metadata_survives_reopen(self, tmp_path, clock):
+        server = WormServer(tmp_path / "w", clock, default_retention=years(1))
+        server.create_file("doc", b"payload")
+        server.create_append_file("log")
+        server.append("log", b"entry")
+        server.seal("log")
+        created = server.meta("doc").create_time
+
+        reopened = WormServer(tmp_path / "w", clock,
+                              default_retention=years(1))
+        assert reopened.read("doc") == b"payload"
+        assert reopened.meta("doc").create_time == created
+        assert reopened.read("log") == b"entry"
+        with pytest.raises(WormViolationError):
+            reopened.append("log", b"more")
+
+    def test_deletes_survive_reopen(self, tmp_path, clock):
+        server = WormServer(tmp_path / "w", clock,
+                            default_retention=minutes(1))
+        server.create_file("doc", b"x")
+        clock.advance(minutes(2))
+        server.delete("doc")
+        reopened = WormServer(tmp_path / "w", clock,
+                              default_retention=minutes(1))
+        assert not reopened.exists("doc")
+
+
+class TestAuditorKey:
+    def test_sign_verify_round_trip(self):
+        key = AuditorKey.generate("alice")
+        sig = key.sign(b"snapshot-hash")
+        assert key.verify(b"snapshot-hash", sig)
+
+    def test_tampered_message_fails(self):
+        key = AuditorKey.generate("alice")
+        sig = key.sign(b"snapshot-hash")
+        assert not key.verify(b"snapshot-hash-tampered", sig)
+
+    def test_wrong_key_fails(self):
+        alice, mala = AuditorKey.generate("alice"), AuditorKey.generate("mala")
+        sig = mala.sign(b"forged statement")
+        assert not alice.verify(b"forged statement", sig)
+
+    def test_require_valid_raises(self):
+        from repro.common.errors import SnapshotError
+        key = AuditorKey.generate("alice")
+        with pytest.raises(SnapshotError):
+            key.require_valid(b"m", b"\x00" * 64, what="snapshot")
+
+    def test_deterministic_generation(self):
+        assert AuditorKey.generate("a").sign(b"m") == \
+            AuditorKey.generate("a").sign(b"m")
