@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Standalone Fig 3(a) benchmark runner for perf tracking across PRs.
+
+Executes the three-architecture TPC-C sweep (REGULAR / LOG_CONSISTENT /
+HASH_ON_READ) at a fixed small scale and writes a JSON report — by
+default ``BENCH_PR1.json`` in the repository root — with txn/s and
+compliance overhead percentages per mode, plus the WORM server's flush
+counters so the group-commit batching win is visible per run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py \
+        [--txns N] [--out FILE] [--baseline FILE] [--label NAME]
+
+``--baseline`` embeds a previously captured report under ``"baseline"``
+so a single file shows before/after.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import build_db, make_driver  # noqa: E402
+from repro.common.config import ComplianceMode  # noqa: E402
+from repro.tpcc import TPCCScale  # noqa: E402
+
+#: Fig 3(a)'s cache ratio: 256 MB of a 2.5 GB database
+CACHE_RATIO = 0.10
+
+MODES = (ComplianceMode.REGULAR, ComplianceMode.LOG_CONSISTENT,
+         ComplianceMode.HASH_ON_READ)
+
+
+def _worm_counters(db) -> dict:
+    """WORM server counters, if the server exposes them (post-PR-1)."""
+    stats = getattr(db.worm, "stats", None)
+    if stats is None:
+        return {}
+    return {name: getattr(stats, name)
+            for name in ("appends", "buffered_appends", "flushes",
+                         "fsyncs", "bytes_written")
+            if hasattr(stats, name)}
+
+
+def _sizing_pages(root: Path, scale: TPCCScale) -> int:
+    db = build_db(root / "sizing", ComplianceMode.REGULAR, scale,
+                  buffer_pages=4096)
+    pages = db.engine.pager.page_count
+    db.close()
+    return pages
+
+
+def run_sweep(txns: int, root: Path) -> dict:
+    """Run the three-mode sweep; returns the per-mode measurements."""
+    scale = TPCCScale.small()
+    buffer_pages = max(16, int(_sizing_pages(root, scale) * CACHE_RATIO))
+    modes = {}
+    for mode in MODES:
+        db = build_db(root / mode.value, mode, scale,
+                      buffer_pages=buffer_pages)
+        driver = make_driver(db, scale)
+        started = time.perf_counter()
+        result = driver.run(txns)
+        elapsed = time.perf_counter() - started
+        worm = _worm_counters(db)
+        entry = {
+            "transactions": result.transactions,
+            "committed": result.committed,
+            "rolled_back": result.rolled_back,
+            "elapsed_seconds": round(elapsed, 4),
+            "tps": round(result.tps, 2),
+        }
+        if worm:
+            entry["worm"] = worm
+            if worm.get("flushes") is not None:
+                entry["worm_flushes_per_1000_txns"] = round(
+                    worm["flushes"] * 1000.0 / max(1, txns), 1)
+        plugin = db.plugin
+        if plugin is not None:
+            entry["clog_records"] = sum(plugin.stats.records.values())
+        db.close()
+        modes[mode.value] = entry
+    base = modes[ComplianceMode.REGULAR.value]["elapsed_seconds"]
+    overhead = {}
+    for mode in (ComplianceMode.LOG_CONSISTENT, ComplianceMode.HASH_ON_READ):
+        elapsed = modes[mode.value]["elapsed_seconds"]
+        overhead[mode.value] = round((elapsed / base - 1.0) * 100.0, 1)
+    return {"buffer_pages": buffer_pages, "modes": modes,
+            "overhead_pct": overhead}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--txns", type=int, default=300,
+                        help="transactions per mode (default 300)")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent /
+                        "BENCH_PR1.json")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="embed a previously captured report")
+    parser.add_argument("--label", default="current",
+                        help="name for this capture (e.g. git describe)")
+    args = parser.parse_args(argv)
+    if args.txns < 1:
+        parser.error("--txns must be at least 1")
+    if args.baseline is not None and not args.baseline.exists():
+        parser.error(f"--baseline file not found: {args.baseline}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        report = run_sweep(args.txns, Path(tmp))
+    report = {"label": args.label, "transactions_per_mode": args.txns,
+              "scale": "small", **report}
+    if args.baseline is not None:
+        report["baseline"] = json.loads(args.baseline.read_text())
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for mode, pct in report["overhead_pct"].items():
+        print(f"  {mode} overhead: {pct:+.1f}%")
+    for mode, entry in report["modes"].items():
+        per_k = entry.get("worm_flushes_per_1000_txns")
+        if per_k is not None:
+            print(f"  {mode} WORM flushes/1000 txns: {per_k}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,12 +17,16 @@ raised and transaction processing must halt — exactly the paper's rule.
 
 from __future__ import annotations
 
+import struct
 from typing import Iterator, List, Optional, Tuple
 
-from ..common.errors import ComplianceHaltError, WormError
+from ..common.errors import ComplianceHaltError, ComplianceLogError, \
+    WormError
 from ..worm import WormServer
-from .records import (AuxStampEntry, CLogRecord, CLogType, iter_aux,
-                      iter_records)
+from .records import AuxStampEntry, CLogRecord, CLogType, iter_aux
+
+_LEN = struct.Struct("<I")
+_STREAM_CHUNK = 256 * 1024
 
 
 def log_name(epoch: int) -> str:
@@ -60,21 +64,45 @@ class ComplianceLog:
     # -- writing --------------------------------------------------------------
 
     def append(self, record: CLogRecord) -> int:
-        """Append one record; returns its offset in L.
+        """Append one record (group-commit buffered); returns its offset
+        in L.
 
-        STAMP_TRANS records are also indexed in the auxiliary log.
+        STAMP_TRANS records are also indexed in the auxiliary log.  The
+        bytes accumulate in the WORM server's in-memory buffer until the
+        next :meth:`barrier` makes them durable — callers place barriers
+        at the protocol's ordering points (commit/abort durability,
+        before dependent data-page write-back, maintenance intervals).
         """
         try:
-            offset = self.worm.append(self.name, record.to_bytes())
+            offset = self.worm.append(self.name, record.to_bytes(),
+                                      durable=False)
             if record.rtype == CLogType.STAMP_TRANS:
                 entry = AuxStampEntry(record.txn_id, offset,
                                       record.commit_time, record.heartbeat)
-                self.worm.append(self.aux, entry.to_bytes())
+                self.worm.append(self.aux, entry.to_bytes(),
+                                 durable=False)
             return offset
         except WormError as exc:
             raise ComplianceHaltError(
                 "compliance log unwritable — transaction processing must "
                 f"halt: {exc}") from exc
+
+    def barrier(self) -> bool:
+        """Durability barrier: drain the group-commit buffer to WORM.
+
+        Returns True if anything was actually flushed.
+        """
+        try:
+            flushed = self.worm.sync(self.name)
+            return self.worm.sync(self.aux) or flushed
+        except WormError as exc:
+            raise ComplianceHaltError(
+                "compliance log unwritable — transaction processing must "
+                f"halt: {exc}") from exc
+
+    def pending_bytes(self) -> int:
+        """Bytes appended but not yet made durable by a barrier."""
+        return self.worm.buffered(self.name) + self.worm.buffered(self.aux)
 
     def seal(self) -> None:
         """Permanently close this epoch's files (audit completion)."""
@@ -84,8 +112,38 @@ class ComplianceLog:
     # -- reading --------------------------------------------------------------
 
     def records(self) -> Iterator[Tuple[int, CLogRecord]]:
-        """(offset, record) pairs for the whole epoch so far."""
-        return iter_records(self.worm.read(self.name))
+        """(offset, record) pairs for the whole epoch so far.
+
+        Streams the log in bounded chunks — the auditor's single pass
+        never materialises the (much larger) epoch blob in memory.
+        """
+        name = self.name
+        total = self.worm.size(name)
+        buf = b""
+        base = 0          # absolute offset of buf[0] in L
+        cursor = 0        # parse position within buf
+        fetched = 0       # bytes read from WORM so far
+        while base + cursor < total:
+            while True:   # ensure one whole frame is buffered
+                avail = len(buf) - cursor
+                if avail >= _LEN.size:
+                    (length,) = _LEN.unpack_from(buf, cursor)
+                    if avail >= _LEN.size + length:
+                        break
+                if fetched >= total:
+                    raise ComplianceLogError("truncated record frame")
+                chunk = self.worm.read(name, fetched, _STREAM_CHUNK)
+                if not chunk:
+                    raise ComplianceLogError("truncated record frame")
+                fetched += len(chunk)
+                if cursor:
+                    buf = buf[cursor:]
+                    base += cursor
+                    cursor = 0
+                buf = buf + chunk if buf else chunk
+            record, next_cursor = CLogRecord.from_bytes(buf, cursor)
+            yield base + cursor, record
+            cursor = next_cursor
 
     def aux_entries(self) -> List[AuxStampEntry]:
         """Parsed auxiliary stamp index."""
@@ -96,7 +154,12 @@ class ComplianceLog:
         return self.worm.size(self.name)
 
     def record_counts(self) -> dict:
-        """Histogram of record types (used by the space benchmarks)."""
+        """Histogram of record types, from a streaming pass over L.
+
+        Callers holding a plugin should prefer the continuously
+        maintained ``PluginStats.records`` — this re-parse exists for
+        readers (auditor-side tools) that only have the log.
+        """
         counts: dict = {}
         for _, record in self.records():
             counts[record.rtype.name] = counts.get(record.rtype.name, 0) + 1

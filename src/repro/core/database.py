@@ -289,8 +289,17 @@ class CompliantDB:
         self.engine.quiesce()
 
     def crash(self) -> None:
-        """Simulate a process crash (volatile state vanishes)."""
+        """Simulate a process crash (volatile state vanishes).
+
+        This includes the WORM group-commit buffer: compliance records
+        appended since the last durability barrier never reached the
+        WORM box, exactly like unsent network writes.  Call
+        :meth:`recover` before using the database again.
+        """
         self.engine.crash()
+        self.worm.drop_buffers()
+        if self.plugin is not None:
+            self.plugin.on_crash()
         self._was_clean = False
 
     def recover(self) -> RecoveryReport:
@@ -314,5 +323,8 @@ class CompliantDB:
         return report
 
     def close(self) -> None:
-        """Clean shutdown."""
+        """Clean shutdown: final checkpoint, then drain the compliance
+        log's group-commit buffer so nothing rides only in memory."""
         self.engine.close()
+        if self.plugin is not None:
+            self.plugin.barrier()

@@ -30,6 +30,16 @@ Responsibilities:
 * **crash recovery**: START_RECOVERY, replayed ABORT/STAMP_TRANS outcomes
   for transactions resolved by recovery, and PAGE_RESET records re-basing
   page replay at the crash boundary.
+
+Compliance records are **group-committed**: appends land in the WORM
+server's in-memory buffer and a single flush at each durability barrier
+covers all of them.  Barriers sit at exactly the Section IV ordering
+points — commit/abort durability, before a data page with still-buffered
+records is physically written (tracked per page in ``_pending_pages``),
+regret-interval maintenance, recovery, and shredding — so a crash at any
+instant still satisfies ``Df = Ds ∪ L``.  Per-page memos
+(:class:`_PageCache`) make repeated flushes and reads of an unchanged
+page O(1) instead of O(tuples).
 """
 
 from __future__ import annotations
@@ -41,7 +51,7 @@ from ..common.config import ComplianceMode
 from ..common.errors import PageFormatError
 from ..btree.events import SplitEvent, TimeSplitEvent
 from ..crypto import SeqHash, h
-from ..storage.page import FREE, INTERNAL, LEAF, META, Page
+from ..storage.page import FREE, INTERNAL, LEAF, META, PAGE_MAGIC, Page
 from ..storage.record import TupleVersion
 from ..temporal.engine import Engine
 from ..txn import Transaction
@@ -54,6 +64,20 @@ NormId = Tuple[int, bytes, bool, int]
 
 _IDX_HEAD = struct.Struct("<iI")
 _IDX_SEP = struct.Struct("<Hqi")
+_PAGE_PEEK = struct.Struct("<HB")  # magic, page type
+
+#: record types whose pgno fields gate that page's physical write-back
+_PAGE_RECORD_TYPES = frozenset({
+    CLogType.NEW_TUPLE, CLogType.UNDO, CLogType.SHREDDED,
+    CLogType.MIGRATE, CLogType.PAGE_RESET})
+
+
+def _page_type(raw: bytes) -> Optional[int]:
+    """Page type from the header bytes alone — no full parse."""
+    if len(raw) < _PAGE_PEEK.size:
+        return None
+    magic, ptype = _PAGE_PEEK.unpack_from(raw, 0)
+    return ptype if magic == PAGE_MAGIC else None
 
 
 def index_content_bytes(children: List[int],
@@ -89,9 +113,42 @@ class PluginStats:
         self.records: Dict[str, int] = {}
         self.extra_disk_reads = 0
         self.witness_files = 0
+        #: records appended to the group-commit buffer
+        self.buffered_appends = 0
+        #: barriers that actually flushed buffered records to WORM
+        self.barrier_flushes = 0
+        #: READ_HASH digests served from / missed in the page cache
+        self.hash_cache_hits = 0
+        self.hash_cache_misses = 0
+        #: pwrite diffs skipped or shortcut by the cached page state
+        self.diff_cache_hits = 0
 
     def bump(self, rtype: CLogType) -> None:
         self.records[rtype.name] = self.records.get(rtype.name, 0) + 1
+
+
+class _PageCache:
+    """Per-page memo killing redundant diffing and hashing.
+
+    ``raw``/``norm_map``/``unresolved`` describe the page image as of the
+    last pwrite diff; ``read_raw``/``read_digest``/``read_unresolved``
+    the image and ``Hs`` digest of the last disk read.  ``unresolved``
+    sets hold txn ids whose commit time was unknown when the entry was
+    built — lazy timestamping changes those tuples' normalised identity
+    the moment the commit map learns the time, so a cache entry is only
+    valid while its unresolved set stays disjoint from the commit map.
+    """
+
+    __slots__ = ("raw", "norm_map", "unresolved", "read_raw",
+                 "read_digest", "read_unresolved")
+
+    def __init__(self) -> None:
+        self.raw: Optional[bytes] = None
+        self.norm_map: Optional[Dict[NormId, TupleVersion]] = None
+        self.unresolved: Set[int] = frozenset()
+        self.read_raw: Optional[bytes] = None
+        self.read_digest: Optional[bytes] = None
+        self.read_unresolved: Set[int] = frozenset()
 
 
 class CompliancePlugin:
@@ -110,6 +167,11 @@ class CompliancePlugin:
         #: Stored raw and normalised lazily at diff time, because lazy
         #: timestamping changes a tuple's normalised identity after commit.
         self._logged: Dict[int, List[TupleVersion]] = {}
+        #: per-page diff/hash memo (see :class:`_PageCache`)
+        self._page_caches: Dict[int, _PageCache] = {}
+        #: pages whose buffered compliance records must reach WORM before
+        #: the page's own write-back (the Section IV ordering rule)
+        self._pending_pages: Set[int] = set()
         #: txn id -> commit time, learned from STAMP_TRANS we wrote
         self.commit_map: Dict[int, int] = {}
         self.aborted: Set[int] = set()
@@ -126,6 +188,7 @@ class CompliancePlugin:
             return
         self.engine.pager.pread_hooks.append(self.on_pread)
         self.engine.pager.pwrite_hooks.append(self.on_pwrite)
+        self.engine.pager.pwrite_barriers.append(self._page_barrier)
         # the plugin must learn the commit time BEFORE the engine's own
         # commit listener runs the opportunistic stamper: a page flushed
         # mid-stamping would otherwise diff as an unexplained UNDO
@@ -139,6 +202,30 @@ class CompliancePlugin:
     def hash_on_read(self) -> bool:
         """Whether the Section V refinement is active."""
         return self.mode is ComplianceMode.HASH_ON_READ
+
+    # -- durability barriers -----------------------------------------------------
+
+    def barrier(self) -> None:
+        """Drain buffered compliance records to WORM (group commit).
+
+        Placed at the protocol's ordering points: commit/abort
+        durability, before a data page with pending records is written
+        back, regret-interval maintenance, and recovery.
+        """
+        if self.clog.barrier():
+            self.stats.barrier_flushes += 1
+        self._pending_pages.clear()
+
+    def _page_barrier(self, pgno: int) -> None:
+        """Pager pwrite barrier: NEW_TUPLE et al. reach WORM before the
+        data page they describe reaches the disk."""
+        if pgno in self._pending_pages:
+            self.barrier()
+
+    def _stale(self, unresolved: Set[int]) -> bool:
+        """Whether a cache entry's unresolved txns have since committed."""
+        return bool(unresolved) and \
+            not self.commit_map.keys().isdisjoint(unresolved)
 
     # -- tuple normalisation -----------------------------------------------------
 
@@ -163,56 +250,129 @@ class CompliancePlugin:
 
     def on_pread(self, pgno: int, raw: bytes) -> None:
         """Cache the page's disk state; log its read hash (Section V)."""
+        ptype = _page_type(raw)
+        if ptype == LEAF:
+            if not self.hash_on_read:
+                # the pread copy only matters while the page is unknown —
+                # repeat reads skip the parse entirely
+                if pgno not in self._logged:
+                    entries = self._parse_leaf(raw)
+                    if entries is not None:
+                        self._logged[pgno] = list(entries)
+                return
+            cache = self._page_caches.get(pgno)
+            if cache is not None and cache.read_digest is not None and \
+                    cache.read_raw == raw and pgno in self._logged and \
+                    not self._stale(cache.read_unresolved):
+                digest = cache.read_digest
+                self.stats.hash_cache_hits += 1
+            else:
+                entries = self._parse_leaf(raw)
+                if entries is None:
+                    return  # corrupted: the audit's disk scan flags it
+                if pgno not in self._logged:
+                    self._logged[pgno] = list(entries)
+                digest, unresolved = self._leaf_hash(entries)
+                if cache is None:
+                    cache = self._page_caches.setdefault(pgno,
+                                                         _PageCache())
+                cache.read_raw = raw
+                cache.read_digest = digest
+                cache.read_unresolved = unresolved
+                self.stats.hash_cache_misses += 1
+            self._append(CLogRecord(
+                CLogType.READ_HASH, pgno=pgno, page_hash=digest,
+                timestamp=self.engine.clock.now()))
+        elif ptype == INTERNAL and self.hash_on_read:
+            cache = self._page_caches.get(pgno)
+            if cache is not None and cache.read_digest is not None and \
+                    cache.read_raw == raw:
+                digest = cache.read_digest
+                self.stats.hash_cache_hits += 1
+            else:
+                try:
+                    page = Page.from_bytes(raw)
+                except PageFormatError:
+                    return
+                digest = h(index_content_bytes(page.children, page.seps))
+                if cache is None:
+                    cache = self._page_caches.setdefault(pgno,
+                                                         _PageCache())
+                cache.read_raw = raw
+                cache.read_digest = digest
+                cache.read_unresolved = frozenset()
+                self.stats.hash_cache_misses += 1
+            self._append(CLogRecord(
+                CLogType.READ_HASH, pgno=pgno, is_index=True,
+                page_hash=digest, timestamp=self.engine.clock.now()))
+
+    @staticmethod
+    def _parse_leaf(raw: bytes):
         try:
             page = Page.from_bytes(raw)
         except PageFormatError:
-            return  # a corrupted page: the audit's disk scan will flag it
-        if page.ptype == LEAF:
-            if pgno not in self._logged:
-                self._logged[pgno] = list(page.entries)
-            if self.hash_on_read:
-                self._append(CLogRecord(
-                    CLogType.READ_HASH, pgno=pgno,
-                    page_hash=self._leaf_hash(page.entries),
-                    timestamp=self.engine.clock.now()))
-            return
-        elif page.ptype == INTERNAL and self.hash_on_read:
-            content = index_content_bytes(page.children, page.seps)
-            self._append(CLogRecord(
-                CLogType.READ_HASH, pgno=pgno, is_index=True,
-                page_hash=h(content),
-                timestamp=self.engine.clock.now()))
+            return None
+        return page.entries if page.ptype == LEAF else None
 
-    def _leaf_hash(self, entries) -> bytes:
+    def _leaf_hash(self, entries) -> Tuple[bytes, Set[int]]:
         # stamped tuples hash their canonical bytes verbatim; only tuples
-        # still carrying a txn id need the commit-time substitution
+        # still carrying a txn id need the commit-time substitution.  The
+        # returned unresolved set names txns whose commit time was still
+        # unknown — the digest must be recomputed once they commit.
         ordered = sorted(entries, key=lambda t: t.seq)
-        return SeqHash(t.to_bytes() if t.stamped else self._norm_bytes(t)
-                       for t in ordered).digest()
+        unresolved = {t.start for t in ordered
+                      if not t.stamped and t.start not in self.commit_map}
+        digest = SeqHash(t.to_bytes() if t.stamped else self._norm_bytes(t)
+                         for t in ordered).digest()
+        return digest, unresolved
 
     def on_pwrite(self, pgno: int, raw: bytes) -> None:
         """Diff the outgoing page against its last logged state."""
-        try:
-            page = Page.from_bytes(raw)
-        except PageFormatError:
+        cache = self._page_caches.get(pgno)
+        if cache is not None and cache.raw == raw:
+            # byte-identical to the image of the last diff: the diff is
+            # empty by construction, whatever the commit map learned
+            # since (normalisation shifts both sides identically)
+            self.stats.diff_cache_hits += 1
             return
-        if page.ptype != LEAF:
+        if _page_type(raw) != LEAF:
             return
-        self._diff_and_log(pgno, page.entries)
+        entries = self._parse_leaf(raw)
+        if entries is None:
+            return
+        self._diff_and_log(pgno, entries, raw=raw)
 
-    def _diff_and_log(self, pgno: int, entries) -> None:
+    def _diff_and_log(self, pgno: int, entries, raw=None) -> None:
         """Emit NEW_TUPLE (and UNDO) records for a page state transition.
 
         Used at pwrite time, and — crucially — *before* a split or
         migration redistributes a page, so that tuples that reached a page
         in memory but were never flushed still get their NEW_TUPLE records
         before the structure records that move them.
+
+        ``raw`` is the serialised image being written (pwrite path only);
+        when given, the computed normalised map is cached against it so
+        the next flush of an unchanged page skips the re-parse and
+        re-normalisation entirely.
         """
+        cache = self._page_caches.get(pgno)
         stored = self._logged.get(pgno)
         if stored is None:
             stored = self._disk_state(pgno)
-        old = {self._norm_id(t): t for t in stored}
-        new = {self._norm_id(t): t for t in entries}
+            old = {self._norm_id(t): t for t in stored}
+        elif cache is not None and cache.norm_map is not None and \
+                not self._stale(cache.unresolved):
+            old = cache.norm_map
+            self.stats.diff_cache_hits += 1
+        else:
+            old = {self._norm_id(t): t for t in stored}
+        new: Dict[NormId, TupleVersion] = {}
+        unresolved: Set[int] = set()
+        for version in entries:
+            norm_id = self._norm_id(version)
+            new[norm_id] = version
+            if not norm_id[2]:  # commit time still unknown
+                unresolved.add(version.start)
         for norm_id, version in new.items():
             if norm_id not in old:
                 self._append(CLogRecord(
@@ -227,6 +387,16 @@ class CompliancePlugin:
                         tuple_bytes=version.to_bytes(),
                         timestamp=self.engine.clock.now()))
         self._logged[pgno] = list(entries)
+        if raw is None:
+            # split/migrate reshuffles: the image on disk no longer
+            # matches what we diffed — drop the page's memo
+            self._page_caches.pop(pgno, None)
+        else:
+            if cache is None:
+                cache = self._page_caches.setdefault(pgno, _PageCache())
+            cache.raw = raw
+            cache.norm_map = new
+            cache.unresolved = unresolved
 
     def _disk_state(self, pgno: int) -> List[TupleVersion]:
         """Fetch the old on-disk page — the extra I/O the pread cache
@@ -243,18 +413,25 @@ class CompliancePlugin:
     # -- transaction outcomes ----------------------------------------------------------
 
     def on_commit(self, txn: Transaction, commit_time: int) -> None:
-        """STAMP_TRANS after the commit is durable."""
+        """STAMP_TRANS after the commit is durable.
+
+        The trailing barrier is the group-commit payoff: one WORM flush
+        covers this STAMP_TRANS *and* every record buffered since the
+        last barrier (NEW_TUPLEs, READ_HASHes of the whole transaction).
+        """
         self.commit_map[txn.txn_id] = commit_time
         self._append(CLogRecord(CLogType.STAMP_TRANS, txn_id=txn.txn_id,
                                 commit_time=commit_time,
                                 timestamp=self.engine.clock.now()))
         self._last_stamp_time = commit_time
+        self.barrier()
 
     def on_abort(self, txn: Transaction) -> None:
         """ABORT after the rollback is durable."""
         self.aborted.add(txn.txn_id)
         self._append(CLogRecord(CLogType.ABORT, txn_id=txn.txn_id,
                                 timestamp=self.engine.clock.now()))
+        self.barrier()
 
     # -- structure events ------------------------------------------------------------------
 
@@ -276,6 +453,9 @@ class CompliancePlugin:
             self._logged[event.right_pgno] = list(event.right_entries)
             if event.old_pgno not in (event.left_pgno, event.right_pgno):
                 self._logged.pop(event.old_pgno, None)
+            # the redistribution invalidates both halves' page memos
+            self._page_caches.pop(event.left_pgno, None)
+            self._page_caches.pop(event.right_pgno, None)
         if not self.hash_on_read:
             return
         record = CLogRecord(
@@ -317,6 +497,7 @@ class CompliancePlugin:
             gone = {self._norm_id(v) for v in event.hist_entries}
             self._logged[event.leaf_pgno] = [
                 v for v in state if self._norm_id(v) not in gone]
+        self._page_caches.pop(event.leaf_pgno, None)
 
     # -- shredding hooks (called by the vacuum process) ---------------------------------------
 
@@ -354,6 +535,9 @@ class CompliancePlugin:
                                     commit_time=now, heartbeat=True,
                                     timestamp=now))
             self._last_stamp_time = now
+        # regret-interval barrier: nothing buffered may outlive the
+        # interval that promised its durability
+        self.barrier()
         return True
 
     def witness_name(self, seq: int) -> str:
@@ -370,6 +554,8 @@ class CompliancePlugin:
         process, but L survives on WORM.
         """
         self._logged.clear()
+        self._page_caches.clear()
+        self._pending_pages.clear()
         self.commit_map.clear()
         self.aborted.clear()
         for _, record in self.clog.records():
@@ -394,6 +580,8 @@ class CompliancePlugin:
             self._emit_page_resets()
         else:
             self._rebase_from_disk()
+        # recovery records must be on WORM before redo writes any page
+        self.barrier()
 
     def _rebase_from_disk(self) -> None:
         for pgno in range(1, self.engine.pager.page_count):
@@ -445,18 +633,39 @@ class CompliancePlugin:
             self.aborted.add(txn_id)
             self._append(CLogRecord(CLogType.ABORT, txn_id=txn_id,
                                     timestamp=self.engine.clock.now()))
+        self.barrier()
 
     # -- epoch rotation -----------------------------------------------------------------------------
 
     def rotate_epoch(self, clog: ComplianceLog) -> None:
         """Switch to the next epoch's log after an audit."""
         self.clog = clog
+        self._pending_pages.clear()  # the seal drained the old buffer
         self._witness_seq = 0
         self._last_stamp_time = self.engine.clock.now()
         self._last_witness_time = self.engine.clock.now()
+
+    def on_crash(self) -> None:
+        """Crash simulation: buffered records and page memos are gone.
+
+        Called by :meth:`CompliantDB.crash` after the WORM server drops
+        its buffers; :meth:`begin_recovery` rebuilds everything from L.
+        """
+        self._pending_pages.clear()
+        self._page_caches.clear()
 
     # -- internals ------------------------------------------------------------------------------------
 
     def _append(self, record: CLogRecord) -> None:
         self.clog.append(record)
         self.stats.bump(record.rtype)
+        self.stats.buffered_appends += 1
+        rtype = record.rtype
+        if rtype in _PAGE_RECORD_TYPES:
+            if record.pgno >= 0:
+                self._pending_pages.add(record.pgno)
+        elif rtype == CLogType.PAGE_SPLIT:
+            for pgno in (record.pgno, record.left_pgno, record.right_pgno,
+                         record.parent_pgno):
+                if pgno >= 0:
+                    self._pending_pages.add(pgno)

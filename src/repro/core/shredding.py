@@ -118,6 +118,7 @@ class Shredder:
             pgno = info.tree.page_of(version.key, version.start)
             self._log_shredded(version, pgno if pgno is not None else -1,
                                now)
+        self._barrier()  # "sent to WORM before the tuple(s) … vacuumed"
         # Phase 2: physical erasure, WAL-logged
         for version in victims:
             engine.physically_delete(info.relation_id, version.key,
@@ -169,6 +170,9 @@ class Shredder:
             survivors = [e for e in entries if e not in expired]
             for version in expired:
                 self._log_shredded(version, -1, now)
+            # the announcement must be durable before the directory is
+            # repointed / the replacement page written
+            self._barrier()
             shredded += len(expired)
             if survivors:
                 # re-migration: replacement page documented like the
@@ -188,6 +192,7 @@ class Shredder:
             else:
                 engine.histdir.replace(ref.ref, None)
                 self._log_remigration(info.relation_id, ref, "", now)
+            self._barrier()  # MIGRATE durable before the old ref can go
             # the old WORM file stays until its retention lapses; the
             # auditor follows the directory/MIGRATE chain, not the file
             if engine.worm.is_expired(ref.ref):
@@ -199,6 +204,11 @@ class Shredder:
         plugin = self._db.plugin
         if plugin is not None:
             plugin.log_shredded(version, pgno, now)
+
+    def _barrier(self) -> None:
+        plugin = self._db.plugin
+        if plugin is not None:
+            plugin.barrier()
 
     def _log_remigration(self, relation_id: int, old_ref: HistPageRef,
                          new_ref: str, now: int) -> None:

@@ -1,10 +1,10 @@
 """Hash constructions (ADD-HASH, Hs) and auditor signatures."""
 
-from .hashes import (DIGEST_BYTES, AddHash, SeqHash, add_hash, h, h_int,
-                     seq_hash)
+from .hashes import (DIGEST_BYTES, HASH_STATS, AddHash, HashStats, SeqHash,
+                     add_hash, h, h_int, seq_hash)
 from .signatures import SIGNATURE_BYTES, AuditorKey
 
 __all__ = [
-    "AddHash", "AuditorKey", "DIGEST_BYTES", "SIGNATURE_BYTES", "SeqHash",
-    "add_hash", "h", "h_int", "seq_hash",
+    "AddHash", "AuditorKey", "DIGEST_BYTES", "HASH_STATS", "HashStats",
+    "SIGNATURE_BYTES", "SeqHash", "add_hash", "h", "h_int", "seq_hash",
 ]

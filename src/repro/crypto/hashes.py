@@ -22,6 +22,7 @@ after vacuuming (Section VIII).
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from typing import Iterable
 
 DIGEST_BYTES = 64
@@ -29,14 +30,55 @@ _MODULUS = 1 << (DIGEST_BYTES * 8)
 _MASK = _MODULUS - 1
 
 
-def h(data: bytes) -> bytes:
-    """The underlying big one-way hash (SHA-512)."""
+class HashStats:
+    """Global SHA-512 work counters (read by the caching tests)."""
+
+    __slots__ = ("sha512_calls", "memo_hits")
+
+    def __init__(self) -> None:
+        self.sha512_calls = 0
+        self.memo_hits = 0
+
+
+#: process-wide counters: every real SHA-512 compression bumps
+#: ``sha512_calls``; every memoised ``h`` lookup bumps ``memo_hits``
+HASH_STATS = HashStats()
+
+#: bounded LRU for ``h``: a tuple's digest is computed once and reused
+#: across NEW_TUPLE emission, READ_HASH chains, and audit replay
+_MEMO_MAX = 16384
+#: only memoise small inputs (tuple-sized); hashing whole page images
+#: through the memo would let a handful of entries pin megabytes
+_MEMO_ITEM_MAX = 512
+_memo: "OrderedDict[bytes, bytes]" = OrderedDict()
+
+
+def _sha512(data: bytes) -> bytes:
+    HASH_STATS.sha512_calls += 1
     return hashlib.sha512(data).digest()
+
+
+def h(data: bytes) -> bytes:
+    """The underlying big one-way hash (SHA-512), memoised for small
+    inputs (bounded LRU)."""
+    data = bytes(data)
+    if len(data) > _MEMO_ITEM_MAX:
+        return _sha512(data)
+    cached = _memo.get(data)
+    if cached is not None:
+        HASH_STATS.memo_hits += 1
+        _memo.move_to_end(data)
+        return cached
+    digest = _sha512(data)
+    _memo[data] = digest
+    if len(_memo) > _MEMO_MAX:
+        _memo.popitem(last=False)
+    return digest
 
 
 def h_int(data: bytes) -> int:
     """``h`` interpreted as an unsigned integer (for ADD-HASH sums)."""
-    return int.from_bytes(hashlib.sha512(data).digest(), "big")
+    return int.from_bytes(h(data), "big")
 
 
 class AddHash:
@@ -134,7 +176,7 @@ class SeqHash:
 
     def add(self, item: bytes) -> "SeqHash":
         """Chain one more item onto the sequence."""
-        self._state = hashlib.sha512(self._state + h(item)).digest()
+        self._state = _sha512(self._state + h(item))
         self._count += 1
         return self
 

@@ -59,6 +59,11 @@ class BufferCache:
     def __init__(self, pager: Pager, capacity_pages: int):
         self._pager = pager
         self._capacity = capacity_pages
+        #: low watermark for stealing: once a sweep has to flush dirty
+        #: pages, it reclaims this far below capacity so one group-commit
+        #: barrier covers a batch of write-backs instead of paying one
+        #: WORM round-trip per evicted page
+        self._steal_slack = max(1, capacity_pages // 8)
         self._pages: "OrderedDict[int, Page]" = OrderedDict()
         self._pins: Dict[int, int] = {}
         #: pgno -> group id; pages in one group flush together
@@ -148,29 +153,59 @@ class BufferCache:
 
     # -- flushing ---------------------------------------------------------------
 
-    def flush_page(self, pgno: int) -> None:
-        """Flush one page (and its whole atomic group) to disk."""
+    def _pop_group(self, pgno: int) -> List[int]:
+        """Detach and return a page's atomic-group members (or itself)."""
         gid = self._group_of.get(pgno)
         members = sorted(self._groups.pop(gid)) if gid is not None \
             else [pgno]
         for member in members:
             self._group_of.pop(member, None)
-        for member in members:
+        return members
+
+    def _flush_batch(self, pgnos: Iterable[int]) -> None:
+        """Write a batch of pages with one group-commit barrier.
+
+        Write-back ordering, batched: phase 1 makes the WAL durable up
+        to every page's LSN (``before_flush`` → WAL-before-data) and
+        fires the pwrite hooks, emitting the compliance records for the
+        *whole* batch; phase 2 writes the page bytes, and the first
+        page's pwrite barrier drains all the buffered records in a
+        single WORM round-trip — strictly before any batched page
+        reaches the disk file.
+        """
+        batch = []
+        for member in pgnos:
             page = self._pages.get(member)
             if page is None or not page.dirty:
                 continue
             if self.before_flush is not None:
                 self.before_flush(page)
             raw = page.to_bytes(self._pager.page_size)
-            self._pager.write_page(member, raw)  # pwrite (hooks fire)
+            self._pager.emit_write_hooks(member, raw)
+            batch.append((member, page, raw))
+        for member, page, raw in batch:
+            self._pager.write_page(member, raw, hooks_done=True)
             page.dirty = False
             self.stats.flushes += 1
 
+    def flush_page(self, pgno: int) -> None:
+        """Flush one page (and its whole atomic group) to disk."""
+        self._flush_batch(self._pop_group(pgno))
+
     def flush_all(self) -> int:
-        """Checkpoint: flush every dirty page.  Returns pages flushed."""
+        """Checkpoint: flush every dirty page in one group-commit batch.
+
+        Returns pages flushed.
+        """
         dirty = [pgno for pgno, page in self._pages.items() if page.dirty]
+        batch: List[int] = []
+        seen: Set[int] = set()
         for pgno in dirty:
-            self.flush_page(pgno)
+            for member in self._pop_group(pgno):
+                if member not in seen:
+                    seen.add(member)
+                    batch.append(member)
+        self._flush_batch(batch)
         return len(dirty)
 
     def dirty_pgnos(self) -> List[int]:
@@ -214,22 +249,31 @@ class BufferCache:
                 continue
             del self._pages[pgno]
             self.stats.evictions += 1
-        # pass 2: steal — flush LRU dirty unpinned pages, then evict them.
-        # A page whose atomic group contains a pinned member is skipped:
-        # the group may be mid-split and not yet serialisable.
+        # pass 2: steal — pick LRU dirty unpinned victims sufficient to
+        # restore capacity, flush them as ONE group-commit batch, then
+        # evict.  A page whose atomic group contains a pinned member is
+        # skipped: the group may be mid-split and not yet serialisable.
+        victims: List[int] = []
+        flushing: Set[int] = set()
+        target = self._capacity - self._steal_slack
         for pgno in list(self._pages):
-            if len(self._pages) <= self._capacity:
-                return
+            if len(self._pages) - len(victims) <= target:
+                break
             if self._pins.get(pgno):
                 continue
-            if pgno not in self._pages:
-                continue  # flushed away as part of an earlier group
+            if pgno in flushing:
+                victims.append(pgno)  # clean once the batch lands
+                continue
             gid = self._group_of.get(pgno)
             if gid is not None and any(self._pins.get(member)
                                        for member in self._groups[gid]):
                 continue
-            self.flush_page(pgno)
-            if pgno in self._pages and not self._pages[pgno].dirty:
+            flushing.update(self._pop_group(pgno))
+            victims.append(pgno)
+        self._flush_batch(sorted(flushing))
+        for pgno in victims:
+            page = self._pages.get(pgno)
+            if page is not None and not page.dirty:
                 del self._pages[pgno]
                 self.stats.evictions += 1
         # every remaining page pinned: allow temporary overflow rather than

@@ -30,6 +30,11 @@ from .page import META, Page
 
 PreadHook = Callable[[int, bytes], None]
 PwriteHook = Callable[[int, bytes], None]
+#: fired after the pwrite hooks but before the physical write — the seam
+#: where the compliance plugin places its group-commit durability
+#: barrier ("data page writes wait until their corresponding NEW_TUPLE
+#: and/or STAMP_TRANS records have reached the WORM server")
+PwriteBarrier = Callable[[int], None]
 
 
 def _spin(delay: float) -> None:
@@ -75,6 +80,7 @@ class Pager:
         self.io_delay = io_delay
         self.pread_hooks: List[PreadHook] = []
         self.pwrite_hooks: List[PwriteHook] = []
+        self.pwrite_barriers: List[PwriteBarrier] = []
         self.stats = PagerStats()
         existing = self.path.exists() and self.path.stat().st_size > 0
         self._file = open(self.path, "r+b" if existing else "w+b")
@@ -112,19 +118,39 @@ class Pager:
             hook(pgno, raw)
         return raw
 
-    def write_page(self, pgno: int, raw: bytes) -> None:
+    def emit_write_hooks(self, pgno: int, raw: bytes) -> None:
+        """Fire the pwrite hooks for a page without writing it.
+
+        Phase 1 of a batched write-back: the buffer cache emits the
+        compliance records for *every* page in a flush batch first, so
+        the batch's first pwrite barrier drains them all in one WORM
+        round-trip (group commit across pages).
+        """
+        for hook in self.pwrite_hooks:
+            hook(pgno, raw)
+
+    def write_page(self, pgno: int, raw: bytes,
+                   hooks_done: bool = False) -> None:
         """pwrite: fire pwrite hooks, then write the page to disk.
 
         Hook-before-write is the ordering guarantee the recovery protocol
         depends on: the compliance records for a page reach WORM before the
-        page itself reaches the disk.
+        page itself reaches the disk.  ``hooks_done=True`` skips the hooks
+        (the caller already ran :meth:`emit_write_hooks` for a batch) but
+        still runs the barriers, so no pending record can ride past its
+        page's physical write.
         """
         if len(raw) != self.page_size:
             raise StorageError(
                 f"page write of {len(raw)} bytes; expected {self.page_size}")
         self._check_pgno(pgno)
-        for hook in self.pwrite_hooks:
-            hook(pgno, raw)
+        if not hooks_done:
+            for hook in self.pwrite_hooks:
+                hook(pgno, raw)
+        # durability barriers run after every hook has emitted its
+        # records, so one flush covers all of them (group commit)
+        for barrier in self.pwrite_barriers:
+            barrier(pgno)
         if self.io_delay:
             _spin(self.io_delay)
         self._file.seek(pgno * self.page_size)

@@ -73,7 +73,10 @@ class TransactionLog:
             if self._sync:
                 os.fsync(self._file.fileno())
             if self._worm is not None and self._worm_name is not None:
-                self._worm.append(self._worm_name, blob)
+                # the mirror must always reflect exactly the durable WAL
+                # tail (recovery cross-checks it against L), so it never
+                # rides the WORM group-commit buffer
+                self._worm.append(self._worm_name, blob, durable=True)
         self._flushed_lsn = self._next_lsn - 1
         return self._flushed_lsn
 

@@ -1,5 +1,5 @@
 """Simulated term-immutable (WORM) compliance storage server."""
 
-from .server import WormFileMeta, WormServer
+from .server import WormFileMeta, WormServer, WormStats
 
-__all__ = ["WormFileMeta", "WormServer"]
+__all__ = ["WormFileMeta", "WormServer", "WormStats"]

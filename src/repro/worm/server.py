@@ -49,6 +49,32 @@ class WormFileMeta:
     size: int
 
 
+class WormStats:
+    """Round-trip counters for the append path (group-commit metrics)."""
+
+    __slots__ = ("appends", "buffered_appends", "flushes", "fsyncs",
+                 "bytes_written")
+
+    def __init__(self) -> None:
+        #: total append() calls that carried data
+        self.appends = 0
+        #: appends that only landed in the in-memory buffer
+        self.buffered_appends = 0
+        #: physical write+flush round-trips to the volume
+        self.flushes = 0
+        #: fsync() system calls issued (only when fsync=True)
+        self.fsyncs = 0
+        self.bytes_written = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.appends = 0
+        self.buffered_appends = 0
+        self.flushes = 0
+        self.fsyncs = 0
+        self.bytes_written = 0
+
+
 class WormServer:
     """A term-immutable file store with a trusted clock.
 
@@ -66,17 +92,25 @@ class WormServer:
     """
 
     def __init__(self, root: os.PathLike, clock: SimulatedClock,
-                 default_retention: int):
+                 default_retention: int, fsync: bool = False):
         if default_retention <= 0:
             raise WormError("default_retention must be positive")
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
         self._clock = clock
         self._default_retention = default_retention
+        self._fsync = fsync
         self._files: Dict[str, WormFileMeta] = {}
         #: open handles for append-only files (hot path: the compliance
         #: log receives one append per record)
         self._append_handles: Dict[str, object] = {}
+        #: group-commit buffers: per-file chunks appended with
+        #: ``durable=False`` that have not yet been written out.  A
+        #: simulated crash drops them (:meth:`drop_buffers`), exactly as
+        #: unsent network writes to a real WORM box would vanish.
+        self._buffers: Dict[str, List[bytes]] = {}
+        self._buffered_len: Dict[str, int] = {}
+        self.stats = WormStats()
         self._journal_path = self._root / _META_JOURNAL
         self._journal_handle = None
         self._replay_journal()
@@ -131,11 +165,18 @@ class WormServer:
 
     # -- append --------------------------------------------------------------
 
-    def append(self, name: str, data: bytes) -> int:
+    def append(self, name: str, data: bytes, durable: bool = True) -> int:
         """Append bytes to an append-only file; returns the write offset.
 
         Existing bytes are untouchable; appending to a sealed or regular
         file is a WORM violation.
+
+        With ``durable=False`` the bytes only accumulate in an in-memory
+        buffer — they are readable and count toward the file's size, but
+        a crash before the next :meth:`sync` loses them.  This is the
+        group-commit mode the compliance log uses; callers are
+        responsible for placing :meth:`sync` barriers wherever the
+        protocol requires durability.
         """
         meta = self._require(name)
         if not meta.appendable or meta.sealed:
@@ -143,14 +184,75 @@ class WormServer:
                 f"cannot append to sealed/immutable WORM file {name!r}")
         offset = meta.size
         if data:
-            handle = self._append_handles.get(name)
-            if handle is None:
-                handle = open(self._path_for(name), "ab")
-                self._append_handles[name] = handle
-            handle.write(bytes(data))
-            handle.flush()
+            data = bytes(data)
+            self.stats.appends += 1
+            if durable:
+                # ordering: earlier buffered appends must land first
+                self.sync(name)
+                self._write_out(name, data)
+            else:
+                self._buffers.setdefault(name, []).append(data)
+                self._buffered_len[name] = \
+                    self._buffered_len.get(name, 0) + len(data)
+                self.stats.buffered_appends += 1
             meta.size += len(data)
         return offset
+
+    def sync(self, name: str) -> bool:
+        """Durability barrier: write out a file's buffered appends.
+
+        Returns True if anything was actually flushed.  One ``sync``
+        after N buffered appends costs a single write+flush round-trip —
+        the group-commit batching win.
+        """
+        self._require(name)
+        chunks = self._buffers.get(name)
+        if not chunks:
+            return False
+        blob = b"".join(chunks)
+        chunks.clear()
+        self._buffered_len[name] = 0
+        self._write_out(name, blob)
+        return True
+
+    def sync_all(self) -> int:
+        """Sync every file with buffered appends; returns files flushed."""
+        return sum(1 for name in list(self._buffers) if self.sync(name))
+
+    def buffered(self, name: str) -> int:
+        """Bytes currently buffered (not yet durable) for a file."""
+        self._require(name)
+        return self._buffered_len.get(name, 0)
+
+    def drop_buffers(self) -> int:
+        """Crash simulation: all un-synced appends vanish.
+
+        File sizes roll back to their durable extents, matching what a
+        re-opened server would recover from the volume.  Returns the
+        number of bytes dropped.
+        """
+        dropped = 0
+        for name, chunks in self._buffers.items():
+            lost = self._buffered_len.get(name, 0)
+            if lost:
+                self._files[name].size -= lost
+                dropped += lost
+            chunks.clear()
+            self._buffered_len[name] = 0
+        return dropped
+
+    def _write_out(self, name: str, blob: bytes) -> None:
+        handle = self._append_handles.get(name)
+        if handle is None:
+            handle = open(self._path_for(name), "ab")
+            self._append_handles[name] = handle
+        handle.write(blob)
+        handle.flush()
+        self.stats.flushes += 1
+        self.stats.bytes_written += len(blob)
+        if self._fsync:
+            os.fsync(handle.fileno())
+            self.stats.fsyncs += 1
 
     def seal(self, name: str) -> None:
         """Permanently close an append-only file (idempotent).
@@ -161,6 +263,7 @@ class WormServer:
         """
         meta = self._require(name)
         if not meta.sealed:
+            self.sync(name)
             meta.sealed = True
             handle = self._append_handles.pop(name, None)
             if handle is not None:
@@ -171,16 +274,32 @@ class WormServer:
 
     def read(self, name: str, offset: int = 0,
              length: Optional[int] = None) -> bytes:
-        """Read (part of) a file's committed bytes."""
+        """Read (part of) a file's bytes, including buffered appends.
+
+        Reads are clamped at ``meta.size``: an explicit ``length`` can
+        never return bytes beyond the size the trusted metadata records,
+        even if the underlying volume file has been padded out-of-band.
+        """
         meta = self._require(name)
-        with open(self._path_for(name), "rb") as handle:
-            handle.seek(offset)
-            raw = handle.read(meta.size - offset if length is None
-                              else length)
-        return raw
+        offset = max(0, offset)
+        end = meta.size if length is None \
+            else min(offset + max(0, length), meta.size)
+        if offset >= end:
+            return b""
+        parts = []
+        durable_size = meta.size - self._buffered_len.get(name, 0)
+        if offset < durable_size:
+            with open(self._path_for(name), "rb") as handle:
+                handle.seek(offset)
+                parts.append(handle.read(min(end, durable_size) - offset))
+        if end > durable_size:
+            buffered = b"".join(self._buffers.get(name, ()))
+            parts.append(buffered[max(0, offset - durable_size):
+                                  end - durable_size])
+        return b"".join(parts)
 
     def size(self, name: str) -> int:
-        """Committed size of a file in bytes."""
+        """Logical size of a file in bytes (durable + buffered appends)."""
         return self._require(name).size
 
     def exists(self, name: str) -> bool:
@@ -211,6 +330,8 @@ class WormServer:
         handle = self._append_handles.pop(name, None)
         if handle is not None:
             handle.close()
+        self._buffers.pop(name, None)
+        self._buffered_len.pop(name, None)
         self._path_for(name).unlink(missing_ok=True)
         del self._files[name]
         self._journal("delete", name)

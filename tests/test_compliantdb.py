@@ -59,9 +59,9 @@ class TestLifecycle:
         sizes = []
         original = db.worm.append
 
-        def tracking_append(name, data):
+        def tracking_append(name, data, durable=True):
             sizes.append(name)
-            return original(name, data)
+            return original(name, data, durable=durable)
 
         db.worm.append = tracking_append
         add_entries(db, 0, 5)

@@ -189,6 +189,7 @@ class TestVacuumCrash:
                    for i in range(8)]
         for victim in victims:
             db.plugin.log_shredded(victim, 0, db.clock.now())
+        db.plugin.barrier()  # the vacuum's phase-1 durability barrier
         db.crash()
         db.recover()  # finish_pending completes the vacuum
         for i in range(8):

@@ -151,3 +151,94 @@ class TestAuditorKey:
     def test_deterministic_generation(self):
         assert AuditorKey.generate("a").sign(b"m") == \
             AuditorKey.generate("a").sign(b"m")
+
+
+class TestReadClamping:
+    def test_explicit_length_clamped_at_size(self, worm):
+        worm.create_file("doc", b"0123456789")
+        assert worm.read("doc", 4, 100) == b"456789"
+        assert worm.read("doc", 0, 10**9) == b"0123456789"
+
+    def test_read_never_returns_padded_file_bytes(self, tmp_path, worm):
+        # an adversary pads the underlying volume file out-of-band; the
+        # trusted metadata's size must still bound every read
+        worm.create_file("doc", b"real")
+        with open(tmp_path / "worm" / "doc", "ab") as handle:
+            handle.write(b"INJECTED")
+        assert worm.read("doc", 0, 100) == b"real"
+        assert worm.read("doc") == b"real"
+        assert worm.read("doc", 2, 50) == b"al"
+
+    def test_offset_past_size_is_empty(self, worm):
+        worm.create_file("doc", b"abc")
+        assert worm.read("doc", 3, 10) == b""
+        assert worm.read("doc", 7) == b""
+
+
+class TestGroupCommitBuffer:
+    def test_buffered_appends_readable_before_sync(self, worm):
+        worm.create_append_file("log")
+        worm.append("log", b"aaa", durable=False)
+        worm.append("log", b"bbb", durable=False)
+        assert worm.size("log") == 6
+        assert worm.buffered("log") == 6
+        assert worm.read("log") == b"aaabbb"
+        assert worm.read("log", 2, 3) == b"abb"
+
+    def test_sync_is_one_flush_for_many_appends(self, worm):
+        worm.create_append_file("log")
+        worm.stats.reset()
+        for i in range(50):
+            worm.append("log", b"x" * 10, durable=False)
+        assert worm.stats.flushes == 0
+        assert worm.sync("log") is True
+        assert worm.stats.flushes == 1
+        assert worm.stats.appends == 50
+        assert worm.stats.buffered_appends == 50
+        assert worm.sync("log") is False  # nothing left
+        assert worm.buffered("log") == 0
+
+    def test_drop_buffers_loses_unsynced_tail_only(self, worm):
+        worm.create_append_file("log")
+        worm.append("log", b"durable-", durable=False)
+        worm.sync("log")
+        worm.append("log", b"lost", durable=False)
+        assert worm.drop_buffers() == 4
+        assert worm.size("log") == 8
+        assert worm.read("log") == b"durable-"
+
+    def test_durable_append_drains_earlier_buffered(self, worm):
+        # ordering: a durable append may not overtake buffered bytes
+        worm.create_append_file("log")
+        worm.append("log", b"first", durable=False)
+        worm.append("log", b"second", durable=True)
+        worm.drop_buffers()  # nothing buffered anymore
+        assert worm.read("log") == b"firstsecond"
+
+    def test_seal_drains_buffer(self, worm):
+        worm.create_append_file("log")
+        worm.append("log", b"tail", durable=False)
+        worm.seal("log")
+        assert worm.buffered("log") == 0
+        worm.drop_buffers()
+        assert worm.read("log") == b"tail"
+
+    def test_buffered_bytes_absent_after_reopen(self, tmp_path, clock):
+        server = WormServer(tmp_path / "w2", clock,
+                            default_retention=years(7))
+        server.create_append_file("log")
+        server.append("log", b"durable", durable=False)
+        server.sync("log")
+        server.append("log", b"volatile", durable=False)
+        # a new server over the same volume sees only synced bytes —
+        # the in-memory buffer died with the old process
+        reopened = WormServer(tmp_path / "w2", clock,
+                              default_retention=years(7))
+        assert reopened.size("log") == 7
+        assert reopened.read("log") == b"durable"
+
+    def test_append_offsets_account_for_buffer(self, worm):
+        worm.create_append_file("log")
+        assert worm.append("log", b"aa", durable=False) == 0
+        assert worm.append("log", b"bbb", durable=False) == 2
+        assert worm.append("log", b"c", durable=True) == 5
