@@ -1,0 +1,24 @@
+"""``repro-lint``: protocol-invariant static analysis for the repo.
+
+The compliance architecture's guarantees rest on ordering and immutability
+invariants (Sections IV–VI of the paper) that ordinary review easily loses
+across refactors: data-page write-backs must wait for their NEW_TUPLE
+records to reach WORM, audit replay must be deterministic, and every
+record type must be handled by recovery, replay, and forensics.  This
+package encodes those invariants as AST-based lint rules so the build —
+not a reviewer — enforces them.
+
+Public surface:
+
+* :func:`repro.analysis.core.run_lint` — lint a set of paths, returning
+  :class:`~repro.analysis.core.LintFinding` objects.
+* :data:`~repro.analysis.core.RULE_REGISTRY` — name → rule class.
+* ``repro-lint`` console script (:mod:`repro.analysis.cli`).
+"""
+
+from .core import (LintFinding, Project, Rule, RULE_REGISTRY, register_rule,
+                   run_lint)
+from . import rules  # noqa: F401  -- importing registers the built-in rules
+
+__all__ = ["LintFinding", "Project", "RULE_REGISTRY", "Rule",
+           "register_rule", "run_lint"]

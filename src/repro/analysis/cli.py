@@ -1,0 +1,85 @@
+"""Console entry point for ``repro-lint``.
+
+Usage::
+
+    repro-lint src/                      # human-readable report
+    repro-lint --format json src/ tests/
+    repro-lint --select barrier-dominance,lock-discipline src/
+    repro-lint --list-rules
+
+Exit codes: 0 — clean; 1 — findings; 2 — bad usage or unparseable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .core import RULE_REGISTRY, run_lint
+from . import rules  # noqa: F401  -- ensure built-in rules are registered
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Protocol-invariant static analyzer for the "
+                    "regulatory-compliant DBMS reproduction.")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule names to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for name in sorted(RULE_REGISTRY):
+            rule = RULE_REGISTRY[name]
+            print(f"{name}: {rule.description}")
+            if rule.invariant:
+                print(f"    invariant: {rule.invariant}")
+        return 0
+    if not options.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return 2
+
+    select = None
+    if options.select:
+        select = [part.strip() for part in options.select.split(",")
+                  if part.strip()]
+    try:
+        findings = run_lint(options.paths, select=select)
+    except (KeyError, FileNotFoundError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"repro-lint: error: cannot parse {exc.filename}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    if options.format == "json":
+        print(json.dumps([finding.as_dict() for finding in findings],
+                         indent=2))
+    else:
+        for finding in findings:
+            print(finding)
+        summary = "clean" if not findings else \
+            f"{len(findings)} finding(s)"
+        print(f"repro-lint: {summary}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,305 @@
+"""Framework for ``repro-lint``: units, rule registry, suppressions.
+
+Design
+------
+
+* A :class:`ModuleUnit` is one parsed source file: AST, raw source, and
+  the suppression/marker comments extracted from its token stream.
+* A :class:`Project` is the set of units being linted together.  Rules
+  run in two phases: :meth:`Rule.check_module` per unit, then
+  :meth:`Rule.finalize` once with the whole project (used by rules that
+  need cross-file facts, e.g. enum definitions in one module and their
+  dispatchers in another).
+* Suppressions are source comments::
+
+      # repro-lint: disable=<rule>[,<rule>] -- <justification>
+      # repro-lint: disable-file=<rule>[,<rule>] -- <justification>
+
+  The first form silences findings reported on its own line; the second
+  silences the whole file.  A justification (the ``--`` clause) is
+  **mandatory**: a bare disable is itself reported under the
+  ``suppression-justification`` pseudo-rule, so every suppression left in
+  the tree carries its one-line why.
+* ``# repro-lint: exhaustive=<EnumName>`` marks a module as a dispatcher
+  that must mention every member of ``EnumName`` (used by the
+  ``record-exhaustiveness`` rule and its fixtures).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence, Set,
+                    Tuple, Type)
+
+# args is non-greedy so a ``-- justification`` made only of word/space/
+# hyphen characters is not swallowed into the rule list
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable-file|disable|exhaustive)"
+    r"(?:=(?P<args>[A-Za-z0-9_.,\- ]+?))?"
+    r"(?P<why>\s*--.*)?$")
+
+#: sentinel rule-name meaning "every rule"
+ALL_RULES = "all"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] " \
+               f"{self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+
+@dataclass
+class Suppression:
+    """A parsed ``disable``/``disable-file`` directive."""
+
+    line: int
+    rules: Set[str]
+    file_scope: bool
+    justified: bool
+
+
+@dataclass
+class ModuleUnit:
+    """One parsed source file plus its lint directives."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    suppressions: List[Suppression] = field(default_factory=list)
+    #: enum names this module promises to dispatch exhaustively
+    exhaustive_marks: List[str] = field(default_factory=list)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Whether a finding of ``rule`` at ``line`` is silenced."""
+        for sup in self.suppressions:
+            if rule not in sup.rules and ALL_RULES not in sup.rules:
+                continue
+            if sup.file_scope or sup.line == line:
+                return True
+        return False
+
+
+class Project:
+    """The set of units linted together, with cross-file lookups."""
+
+    def __init__(self, units: Sequence[ModuleUnit]):
+        self.units = list(units)
+
+    def enum_members(self, enum_name: str) -> Optional[List[str]]:
+        """Member names of an enum class defined anywhere in the project.
+
+        Finds ``class <enum_name>(...)`` and returns its class-level
+        assignment targets (the idiom both record modules use); ``None``
+        when no unit defines the class.
+        """
+        for unit in self.units:
+            for node in ast.walk(unit.tree):
+                if not isinstance(node, ast.ClassDef) or \
+                        node.name != enum_name:
+                    continue
+                members: List[str] = []
+                for stmt in node.body:
+                    if isinstance(stmt, ast.Assign):
+                        for target in stmt.targets:
+                            if isinstance(target, ast.Name):
+                                members.append(target.id)
+                    elif isinstance(stmt, ast.AnnAssign) and \
+                            isinstance(stmt.target, ast.Name) and \
+                            stmt.value is not None:
+                        members.append(stmt.target.id)
+                return members
+        return None
+
+
+class Rule:
+    """Base class for lint rules.  Subclass and :func:`register_rule`."""
+
+    #: kebab-case rule name used in reports and suppressions
+    name: str = ""
+    #: one-line description for ``--list-rules``
+    description: str = ""
+    #: the paper invariant the rule encodes (documentation)
+    invariant: str = ""
+
+    def check_module(self, unit: ModuleUnit,
+                     project: Project) -> List[LintFinding]:
+        """Per-file pass; return findings (suppressions applied later)."""
+        return []
+
+    def finalize(self, project: Project) -> List[LintFinding]:
+        """Whole-project pass after every unit has been seen."""
+        return []
+
+
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (name must be set)."""
+    if not cls.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if cls.name in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    RULE_REGISTRY[cls.name] = cls
+    return cls
+
+
+# -- AST helpers shared by the rules ----------------------------------------
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain; None for anything else."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def iter_functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    """Every (sync or async) function definition in a module, any depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node  # type: ignore[misc]
+
+
+def ordered_calls(fn: ast.AST) -> List[ast.Call]:
+    """Call nodes under ``fn`` in source order."""
+    calls = [node for node in ast.walk(fn) if isinstance(node, ast.Call)]
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return calls
+
+
+def before(a: ast.AST, b: ast.AST) -> bool:
+    """Whether node ``a`` starts strictly before node ``b`` in the source.
+
+    Lexical order is this framework's **dominance approximation**: within
+    the small, straight-line protocol functions these rules police, a
+    call that appears earlier in the body runs earlier on the path that
+    reaches the later call.  (A full CFG would be needed for arbitrary
+    control flow; see DESIGN.md §7.)
+    """
+    return (a.lineno, a.col_offset) < (b.lineno, b.col_offset)
+
+
+# -- parsing ----------------------------------------------------------------
+
+
+def _parse_directives(source: str) -> Tuple[List[Suppression], List[str]]:
+    suppressions: List[Suppression] = []
+    marks: List[str] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except tokenize.TokenizeError:
+        return suppressions, marks
+    for line, text in comments:
+        match = _DIRECTIVE_RE.search(text)
+        if match is None:
+            continue
+        kind = match.group("kind")
+        args = [part.strip() for part in
+                (match.group("args") or ALL_RULES).split(",") if
+                part.strip()]
+        if kind == "exhaustive":
+            marks.extend(args)
+            continue
+        suppressions.append(Suppression(
+            line=line, rules=set(args),
+            file_scope=(kind == "disable-file"),
+            justified=bool(match.group("why"))))
+    return suppressions, marks
+
+
+def load_unit(path: Path) -> ModuleUnit:
+    """Parse one file into a :class:`ModuleUnit`.
+
+    Raises :class:`SyntaxError` for unparseable sources — the CLI maps
+    that to exit code 2.
+    """
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    suppressions, marks = _parse_directives(source)
+    return ModuleUnit(path=str(path), source=source, tree=tree,
+                      suppressions=suppressions, exhaustive_marks=marks)
+
+
+def collect_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: "
+                                    f"{raw}")
+    return out
+
+
+# -- driver -----------------------------------------------------------------
+
+
+def run_lint(paths: Iterable[str],
+             select: Optional[Iterable[str]] = None) -> List[LintFinding]:
+    """Lint ``paths`` with the selected rules (default: all registered).
+
+    Returns findings sorted by location, with suppressions applied and
+    unjustified suppressions reported under
+    ``suppression-justification``.
+    """
+    names = list(select) if select is not None else sorted(RULE_REGISTRY)
+    unknown = [name for name in names if name not in RULE_REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown rule(s): {', '.join(unknown)}")
+    units = [load_unit(path) for path in collect_files(paths)]
+    project = Project(units)
+    rules = [RULE_REGISTRY[name]() for name in names]
+
+    findings: List[LintFinding] = []
+    for rule in rules:
+        for unit in units:
+            findings.extend(rule.check_module(unit, project))
+        findings.extend(rule.finalize(project))
+
+    kept = []
+    by_path = {unit.path: unit for unit in units}
+    for finding in findings:
+        unit = by_path.get(finding.path)
+        if unit is not None and unit.suppressed(finding.rule, finding.line):
+            continue
+        kept.append(finding)
+    for unit in units:
+        for sup in unit.suppressions:
+            if not sup.justified:
+                kept.append(LintFinding(
+                    rule="suppression-justification", path=unit.path,
+                    line=sup.line, col=0,
+                    message="suppression without a justification — add "
+                            "'-- <one-line reason>' to the disable "
+                            "comment"))
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept

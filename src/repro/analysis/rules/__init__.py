@@ -1,0 +1,7 @@
+"""Built-in compliance rules; importing this package registers them."""
+
+from . import (barrier_dominance, lock_discipline, record_exhaustiveness,
+               replay_determinism, worm_immutability)
+
+__all__ = ["barrier_dominance", "lock_discipline", "record_exhaustiveness",
+           "replay_determinism", "worm_immutability"]

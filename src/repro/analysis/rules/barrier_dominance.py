@@ -1,0 +1,142 @@
+"""barrier-dominance: WORM barriers must dominate page write-backs.
+
+Paper invariant (Section IV): *"data page writes wait until their
+corresponding NEW_TUPLE and/or STAMP_TRANS records have reached the WORM
+server."*  In this tree the ordering is carried by three mechanisms, and
+the rule checks the shape of each:
+
+1. ``pager.write_page(pgno, raw, hooks_done=True)`` is phase 2 of a
+   batched write-back; it is only legal after phase 1
+   (``emit_write_hooks``) emitted the batch's compliance records — the
+   first page's pwrite barrier then drains them ahead of any physical
+   write.  A ``hooks_done=True`` call with no dominating
+   ``emit_write_hooks`` (or explicit barrier) in the same function means
+   a page can reach disk with its NEW_TUPLE records still buffered.
+2. The body of a function *named* ``write_page`` must run its
+   ``pwrite_barriers`` (a ``for`` loop over them, or a direct
+   ``barrier()``/``_page_barrier()`` call) before the physical
+   ``.write(...)``/``.seek(...)`` on the backing file.
+3. Any call to ``*.write_raw(...)`` bypasses the hook/barrier seam
+   entirely.  Legitimate bypasses (the adversary simulation, the pager's
+   own initialisation) must carry a justified suppression.
+
+Dominance is approximated lexically (see :func:`repro.analysis.core.before`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..core import (LintFinding, ModuleUnit, Project, Rule, before,
+                    dotted_name, iter_functions, ordered_calls,
+                    register_rule)
+
+#: callee attribute names that count as an explicit durability barrier
+_BARRIER_ATTRS = {"barrier", "_page_barrier", "sync", "sync_all"}
+
+
+def _is_truthy_const(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and bool(node.value)
+
+
+def _callee_attr(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _barrier_loops(fn: ast.AST) -> List[ast.For]:
+    """``for b in <...>.pwrite_barriers: b(...)`` loops under ``fn``."""
+    loops = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.For):
+            continue
+        iter_name = dotted_name(node.iter) or ""
+        if not iter_name.endswith("pwrite_barriers"):
+            continue
+        if not isinstance(node.target, ast.Name):
+            continue
+        target = node.target.id
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Call) and \
+                    isinstance(inner.func, ast.Name) and \
+                    inner.func.id == target:
+                loops.append(node)
+                break
+    return loops
+
+
+@register_rule
+class BarrierDominanceRule(Rule):
+    """Page write-backs must be dominated by a WORM durability barrier."""
+
+    name = "barrier-dominance"
+    description = ("pager/buffer write-back sites must be dominated by a "
+                   "WORM barrier or phase-1 hook emission")
+    invariant = ("Section IV: data page writes wait until their NEW_TUPLE/"
+                 "STAMP_TRANS records have reached the WORM server")
+
+    def check_module(self, unit: ModuleUnit,
+                     project: Project) -> List[LintFinding]:
+        findings: List[LintFinding] = []
+        for fn in iter_functions(unit.tree):
+            calls = ordered_calls(fn)
+            emit_or_barrier = [
+                call for call in calls
+                if _callee_attr(call) == "emit_write_hooks" or
+                _callee_attr(call) in _BARRIER_ATTRS]
+            for call in calls:
+                attr = _callee_attr(call)
+                if attr == "write_page":
+                    hooks_done = any(
+                        kw.arg == "hooks_done" and
+                        _is_truthy_const(kw.value)
+                        for kw in call.keywords)
+                    if hooks_done and not any(
+                            before(dom, call) for dom in emit_or_barrier):
+                        findings.append(LintFinding(
+                            self.name, unit.path, call.lineno,
+                            call.col_offset,
+                            "write_page(hooks_done=True) with no "
+                            "dominating emit_write_hooks/barrier in "
+                            f"'{fn.name}' — the page could reach disk "
+                            "before its compliance records reach WORM"))
+                elif attr == "write_raw":
+                    receiver = dotted_name(call.func.value) \
+                        if isinstance(call.func, ast.Attribute) else None
+                    findings.append(LintFinding(
+                        self.name, unit.path, call.lineno,
+                        call.col_offset,
+                        f"{receiver or '<expr>'}.write_raw bypasses the "
+                        "pwrite hook/barrier seam — compliance records "
+                        "are never emitted for these bytes"))
+            if fn.name == "write_page":
+                findings.extend(self._check_write_page_body(unit, fn))
+        return findings
+
+    def _check_write_page_body(self, unit: ModuleUnit,
+                               fn: ast.FunctionDef) -> List[LintFinding]:
+        physical = [
+            call for call in ordered_calls(fn)
+            if _callee_attr(call) in ("write", "seek") and
+            isinstance(call.func, ast.Attribute) and
+            (dotted_name(call.func.value) or "").endswith("_file")]
+        if not physical:
+            return []
+        barrier_points: List[ast.AST] = list(_barrier_loops(fn))
+        barrier_points.extend(
+            call for call in ordered_calls(fn)
+            if _callee_attr(call) in _BARRIER_ATTRS)
+        first_write = physical[0]
+        if any(before(point, first_write) for point in barrier_points):
+            return []
+        return [LintFinding(
+            self.name, unit.path, first_write.lineno,
+            first_write.col_offset,
+            f"'{fn.name}' writes the backing file without first running "
+            "its pwrite_barriers — buffered compliance records could "
+            "ride past the page's physical write")]

@@ -1,0 +1,130 @@
+"""lock-discipline: acquired locks must be released on every exit.
+
+Invariant (strict two-phase locking, DESIGN.md): every lock acquired via
+the lock table is owned by a transaction and released *exactly once*, by
+``release_all`` at commit/abort.  A code path that acquires a lock and
+can leave without a guaranteed release wedges the resource forever — in
+this single-threaded reproduction that surfaces as a permanent
+:class:`~repro.common.errors.LockConflictError` for every later
+transaction touching the resource.
+
+A function that calls ``<something lock-like>.acquire(...)`` passes when
+one of these holds:
+
+* it takes the transaction as a parameter (``txn``/``transaction`` name
+  or a ``Transaction`` annotation) — the strict-2PL contract: the lock's
+  lifetime belongs to the transaction, and the transaction manager's
+  commit/abort paths (which this rule also checks) release it;
+* it calls ``release_all`` inside a ``finally`` block; or
+* it calls ``release_all`` with no ``return``/``raise`` lexically
+  between the first ``acquire`` and the last ``release_all`` (the
+  straight-line pairing; anything branchier needs the ``finally`` form).
+
+Receivers count as lock-like when their dotted name contains ``lock``
+(``self.locks``, ``locks``, ``lock_table``, …); ``threading`` primitives
+used as context managers (``with lock:``) never reach ``.acquire`` here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..core import (LintFinding, ModuleUnit, Project, Rule, dotted_name,
+                    iter_functions, register_rule)
+
+_TXN_PARAM_NAMES = {"txn", "transaction"}
+
+
+def _lock_receiver(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr != "acquire":
+        return None
+    receiver = dotted_name(func.value)
+    if receiver is not None and "lock" in receiver.lower():
+        return receiver
+    return None
+
+
+def _takes_transaction(fn: ast.FunctionDef) -> bool:
+    args = list(fn.args.posonlyargs) + list(fn.args.args) + \
+        list(fn.args.kwonlyargs)
+    for arg in args:
+        if arg.arg in _TXN_PARAM_NAMES:
+            return True
+        annotation = arg.annotation
+        if annotation is not None:
+            text = dotted_name(annotation) or (
+                annotation.value if isinstance(annotation, ast.Constant)
+                else "")
+            if isinstance(text, str) and "Transaction" in text:
+                return True
+    return False
+
+
+def _release_in_finally(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Try):
+            for stmt in node.finalbody:
+                for inner in ast.walk(stmt):
+                    if isinstance(inner, ast.Call) and \
+                            isinstance(inner.func, ast.Attribute) and \
+                            inner.func.attr == "release_all":
+                        return True
+    return False
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    """acquire() without release_all guaranteed on all exits."""
+
+    name = "lock-discipline"
+    description = ("lock acquire on a path with no release_all on all "
+                   "exits")
+    invariant = ("strict 2PL: locks belong to a transaction and are "
+                 "released exactly once at commit/abort")
+
+    def check_module(self, unit: ModuleUnit,
+                     project: Project) -> List[LintFinding]:
+        findings: List[LintFinding] = []
+        for fn in iter_functions(unit.tree):
+            acquires = []
+            releases = []
+            exits = []
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    if _lock_receiver(node) is not None:
+                        acquires.append(node)
+                    elif isinstance(node.func, ast.Attribute) and \
+                            node.func.attr == "release_all":
+                        releases.append(node)
+                elif isinstance(node, (ast.Return, ast.Raise)):
+                    exits.append(node)
+            if not acquires:
+                continue
+            if _takes_transaction(fn):
+                continue  # txn-scoped: the manager releases at outcome
+            if _release_in_finally(fn):
+                continue
+            first = min((a.lineno, a.col_offset) for a in acquires)
+            if releases:
+                last = max((r.lineno, r.col_offset) for r in releases)
+                escaping = [node for node in exits
+                            if first < (node.lineno, node.col_offset)
+                            <= last]
+                if not escaping:
+                    continue
+                node = escaping[0]
+                findings.append(LintFinding(
+                    self.name, unit.path, node.lineno, node.col_offset,
+                    f"'{fn.name}' can exit between acquire and "
+                    "release_all — move the release into a finally "
+                    "block"))
+            else:
+                node = acquires[0]
+                findings.append(LintFinding(
+                    self.name, unit.path, node.lineno, node.col_offset,
+                    f"'{fn.name}' acquires a lock but has no "
+                    "release_all on any exit and no transaction "
+                    "parameter to own the lock"))
+        return findings

@@ -1,0 +1,119 @@
+"""replay-determinism: audit replay must be a pure function of the log.
+
+Paper invariant (Section V): the auditor re-derives every page hash
+``Hs`` and the ADD-HASH completeness digest purely from the snapshot and
+the compliance log; any nondeterminism in what the engine *feeds* those
+hashes (wall-clock reads, unseeded randomness, dict-order iteration)
+makes the honest system indistinguishable from a tampered one.
+
+Flagged anywhere in the linted set:
+
+* wall-clock / entropy calls: ``time.time``, ``time.time_ns``,
+  ``datetime.now``/``utcnow``/``today``, ``os.urandom``,
+  ``uuid.uuid1``/``uuid4``, anything from ``secrets`` — the engine runs
+  on :class:`~repro.common.clock.SimulatedClock`, full stop.
+  (``time.perf_counter`` is allowed: it feeds metrics, never hashes.)
+* module-level ``random.<fn>(...)`` calls and unseeded
+  ``random.Random()`` — a seeded ``random.Random(seed)`` instance is
+  deterministic and allowed (the TPC-C generators use one).
+* hash constructions fed by an **unsorted dict view**:
+  ``SeqHash``/``AddHash``/``seq_hash``/``add_hash``/``h`` whose argument
+  is ``<d>.values()/items()/keys()`` (directly or as the iterable of a
+  comprehension) without a ``sorted(...)`` wrapper.  ADD-HASH is
+  commutative, so a deliberate unsorted feed there may be suppressed
+  with a justification; ``Hs`` is order-sensitive and never may be.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..core import (LintFinding, ModuleUnit, Project, Rule, dotted_name,
+                    register_rule)
+
+_FORBIDDEN_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.now": "wall-clock read",
+    "datetime.utcnow": "wall-clock read",
+    "datetime.today": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "os.urandom": "entropy source",
+    "uuid.uuid1": "entropy source",
+    "uuid.uuid4": "entropy source",
+}
+
+_HASH_CALLEES = {"SeqHash", "AddHash", "seq_hash", "add_hash", "h"}
+_DICT_VIEWS = {"values", "items", "keys"}
+
+
+def _unsorted_view(node: ast.expr) -> Optional[str]:
+    """The ``.values()``-style view call in ``node``, if unsorted."""
+    if isinstance(node, ast.Call) and \
+            isinstance(node.func, ast.Attribute) and \
+            node.func.attr in _DICT_VIEWS:
+        receiver = dotted_name(node.func.value) or "<expr>"
+        return f"{receiver}.{node.func.attr}()"
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+        for comp in node.generators:
+            view = _unsorted_view(comp.iter)
+            if view is not None:
+                return view
+    return None
+
+
+@register_rule
+class ReplayDeterminismRule(Rule):
+    """No wall clocks, entropy, or dict-order feeds into audit hashes."""
+
+    name = "replay-determinism"
+    description = ("forbid time.time/random and unsorted-dict iteration "
+                   "feeding Hs/ADD-HASH")
+    invariant = ("Section V: the auditor's replay must re-derive every "
+                 "digest purely from the snapshot and the log")
+
+    def check_module(self, unit: ModuleUnit,
+                     project: Project) -> List[LintFinding]:
+        findings: List[LintFinding] = []
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee in _FORBIDDEN_CALLS:
+                findings.append(LintFinding(
+                    self.name, unit.path, node.lineno, node.col_offset,
+                    f"{callee}() is a {_FORBIDDEN_CALLS[callee]} — replay "
+                    "must take time from the SimulatedClock/Compliance "
+                    "Clock only"))
+            elif callee is not None and (callee.startswith("random.") or
+                                         callee.startswith("secrets.")):
+                fn = callee.split(".", 1)[1]
+                if callee.startswith("secrets.") or fn != "Random":
+                    findings.append(LintFinding(
+                        self.name, unit.path, node.lineno,
+                        node.col_offset,
+                        f"{callee}() draws from shared/unseeded "
+                        "randomness — use a seeded random.Random(seed) "
+                        "instance"))
+                elif not node.args and not node.keywords:
+                    findings.append(LintFinding(
+                        self.name, unit.path, node.lineno,
+                        node.col_offset,
+                        "random.Random() without a seed is "
+                        "nondeterministic — pass an explicit seed"))
+            func_name = node.func.id if isinstance(node.func, ast.Name) \
+                else None
+            if func_name in _HASH_CALLEES:
+                for arg in node.args:
+                    view = _unsorted_view(arg)
+                    if view is not None:
+                        findings.append(LintFinding(
+                            self.name, unit.path, node.lineno,
+                            node.col_offset,
+                            f"{func_name}({view}) feeds dict-order "
+                            "iteration into a hash — wrap the view in "
+                            "sorted(...) or justify why order cannot "
+                            "matter"))
+        return findings

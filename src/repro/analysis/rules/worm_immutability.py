@@ -1,0 +1,133 @@
+"""worm-immutability: buffers handed to WORM must not be touched again.
+
+Paper invariant (Section III): WORM files are *term-immutable* — "once
+written, their bytes can never be changed".  The simulated
+:class:`~repro.worm.server.WormServer` group-commits appends through an
+in-memory buffer, so the bytes a caller passes to
+``WormServer.append``/``ComplianceLog.append``/``create_file`` may sit in
+that buffer until the next durability barrier.  If the caller mutates the
+object afterwards (or mutates it through an alias), the "immutable" log
+silently changes before it reaches the volume — the exact laundering the
+threat model forbids.
+
+The rule tracks names passed as data arguments to append-like calls on
+receivers that look like a WORM server or compliance log (dotted name
+containing ``worm`` or ``clog``), including one level of aliasing
+(``alias = buf``), and flags any later in-function mutation of a tracked
+name: mutating method calls, subscript/attribute stores, augmented
+assignment, and ``del``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List
+
+from ..core import (LintFinding, ModuleUnit, Project, Rule, dotted_name,
+                    iter_functions, register_rule)
+
+_WORM_RECEIVER_RE = re.compile(r"(?:^|[._])(worm|clog)(?:[._]|$)")
+_APPEND_ATTRS = {"append", "create_file"}
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "clear", "pop", "popitem", "remove",
+    "sort", "reverse", "update", "setdefault", "add", "discard",
+    "__setitem__"}
+
+
+def _is_worm_append(call: ast.Call) -> bool:
+    func = call.func
+    if not isinstance(func, ast.Attribute) or \
+            func.attr not in _APPEND_ATTRS:
+        return False
+    receiver = dotted_name(func.value)
+    return receiver is not None and \
+        bool(_WORM_RECEIVER_RE.search(receiver))
+
+
+def _pos(node: ast.AST) -> tuple:
+    return (node.lineno, node.col_offset)
+
+
+@register_rule
+class WormImmutabilityRule(Rule):
+    """No mutation/aliasing of buffers after a WORM append."""
+
+    name = "worm-immutability"
+    description = ("flag mutation or aliasing of buffers after they are "
+                   "passed to a WORM/compliance-log append")
+    invariant = ("Section III: WORM files are term-immutable; bytes "
+                 "buffered for append must never change afterwards")
+
+    def check_module(self, unit: ModuleUnit,
+                     project: Project) -> List[LintFinding]:
+        findings: List[LintFinding] = []
+        for fn in iter_functions(unit.tree):
+            findings.extend(self._check_function(unit, fn))
+        return findings
+
+    def _check_function(self, unit: ModuleUnit,
+                        fn: ast.AST) -> List[LintFinding]:
+        #: name -> position of the append that froze it
+        frozen: Dict[str, tuple] = {}
+        aliases: Dict[str, str] = {}
+        findings: List[LintFinding] = []
+        nodes = [node for node in ast.walk(fn)
+                 if hasattr(node, "lineno")]
+        nodes.sort(key=_pos)
+
+        def canonical(name: str) -> str:
+            return aliases.get(name, name)
+
+        def frozen_at(name: str, node: ast.AST) -> bool:
+            origin = frozen.get(canonical(name))
+            return origin is not None and origin < _pos(node)
+
+        def report(node: ast.AST, name: str, what: str) -> None:
+            findings.append(LintFinding(
+                self.name, unit.path, node.lineno, node.col_offset,
+                f"{what} of {name!r} after it was passed to a WORM "
+                "append — the group-commit buffer aliases the object, "
+                "so the 'immutable' log would change"))
+
+        for node in nodes:
+            if isinstance(node, ast.Call) and _is_worm_append(node):
+                for arg in list(node.args) + \
+                        [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Name):
+                        frozen.setdefault(canonical(arg.id), _pos(node))
+            elif isinstance(node, ast.Assign):
+                if len(node.targets) == 1 and \
+                        isinstance(node.targets[0], ast.Name) and \
+                        isinstance(node.value, ast.Name):
+                    # alias = buf: mutations through either name count
+                    aliases[node.targets[0].id] = canonical(node.value.id)
+                for target in node.targets:
+                    self._check_store(target, node, frozen_at, report)
+            elif isinstance(node, ast.AugAssign):
+                self._check_store(node.target, node, frozen_at, report)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    self._check_store(target, node, frozen_at, report)
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _MUTATING_METHODS and \
+                    isinstance(node.func.value, ast.Name):
+                name = node.func.value.id
+                if frozen_at(name, node):
+                    report(node, name,
+                           f"mutating call .{node.func.attr}()")
+        return findings
+
+    @staticmethod
+    def _check_store(target: ast.expr, node: ast.AST, frozen_at,
+                     report) -> None:
+        inner = target
+        while isinstance(inner, (ast.Subscript, ast.Attribute)):
+            inner = inner.value
+        if inner is target:
+            return  # plain rebinding of the name itself is harmless
+        if isinstance(inner, ast.Name) and frozen_at(inner.id, node):
+            kind = "subscript store" if isinstance(target, ast.Subscript) \
+                else "attribute store"
+            report(node, inner.id, kind)

@@ -16,7 +16,7 @@ Scaling knobs (environment variables):
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Sequence
 
 from ..tpcc import TPCCScale
 

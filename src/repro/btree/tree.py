@@ -22,9 +22,8 @@ Design points relevant to the reproduction:
 
 from __future__ import annotations
 
-import struct
 from bisect import bisect_right
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..common.errors import (DuplicateKeyError, KeyNotFoundError,
                              PageFullError, StorageError)

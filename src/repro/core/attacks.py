@@ -57,7 +57,7 @@ class Adversary:
         return Page.from_bytes(self._pager.read_raw(pgno))
 
     def _write(self, page: Page) -> None:
-        self._pager.write_raw(page.pgno,
+        self._pager.write_raw(page.pgno,  # repro-lint: disable=barrier-dominance -- Mala IS the adversary: tampering deliberately bypasses the compliance barrier
                               page.to_bytes(self._pager.page_size))
 
     def _leaf_pages(self):
@@ -190,7 +190,7 @@ class Adversary:
 
         def revert(self) -> None:
             """Put the original bytes back before anyone audits."""
-            self._adversary._pager.write_raw(self.pgno, self._original)
+            self._adversary._pager.write_raw(self.pgno, self._original)  # repro-lint: disable=barrier-dominance -- state-reversion attack: unlogged restore is the point
 
     def begin_state_reversion(self, relation: str, key: Tuple[Any, ...],
                               row: Dict[str, Any]) -> "_Reversion":

@@ -37,7 +37,7 @@ log files, and rotates the database to the next epoch.
 from __future__ import annotations
 
 import time
-from bisect import bisect_right, insort
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -47,7 +47,7 @@ from ..common.errors import (AuditError, ComplianceLogError,
                              PageFormatError, SnapshotError, WalError,
                              WormFileNotFoundError)
 from ..crypto import AddHash, AuditorKey, SeqHash, h
-from ..storage.page import FREE, INTERNAL, LEAF, META, Page
+from ..storage.page import LEAF, Page
 from ..storage.record import TupleVersion
 from ..temporal.catalog import CATALOG_RELATION_ID, CATALOG_SCHEMA
 from ..temporal.history import decode_hist_page
@@ -341,8 +341,8 @@ class Auditor:
                 report.add("shredded-content-mismatch",
                            f"SHREDDED content differs for {nid!r}")
 
-        expected_hash = AddHash(expected.values())
-        final_hash = AddHash(final.tuples.values())
+        expected_hash = AddHash(expected.values())  # repro-lint: disable=replay-determinism -- ADD-HASH is commutative; iteration order cannot change the digest
+        final_hash = AddHash(final.tuples.values())  # repro-lint: disable=replay-determinism -- ADD-HASH is commutative; iteration order cannot change the digest
         if expected_hash != final_hash:
             missing = [nid for nid in expected if nid not in final.tuples]
             extra = [nid for nid in final.tuples if nid not in expected]
@@ -599,6 +599,7 @@ class _LogScan:
             for pgno, raw in snapshot.index_pages.items()}
         self._unstamped_index: Dict[int, List[Tuple[int, NormId]]] = {}
         self._saw_recovery = False
+        self._closed = False
 
     # -- helpers ----------------------------------------------------------------
 
@@ -652,6 +653,11 @@ class _LogScan:
         self.finish()
 
     def _dispatch(self, record: CLogRecord) -> None:
+        if self._closed:
+            self.report.add("record-after-close",
+                            f"{record.rtype.name} record appended after "
+                            "CLOSE_EPOCH — a closed epoch's log was "
+                            "extended")
         handler = getattr(self, f"_on_{record.rtype.name.lower()}", None)
         if handler is not None:
             handler(record)
@@ -830,6 +836,12 @@ class _LogScan:
             entries = [TupleVersion.from_bytes(b)[0]
                        for b in record.left_content]
             self._rebuild_model(record.pgno, entries)
+
+    def _on_close_epoch(self, record: CLogRecord) -> None:
+        # seal() terminates the epoch with this record; a live epoch's
+        # audit never sees one, and nothing may follow it (checked in
+        # _dispatch)
+        self._closed = True
 
     def _on_migrate(self, record: CLogRecord) -> None:
         if record.hist_ref:

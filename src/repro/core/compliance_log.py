@@ -104,8 +104,18 @@ class ComplianceLog:
         """Bytes appended but not yet made durable by a barrier."""
         return self.worm.buffered(self.name) + self.worm.buffered(self.aux)
 
-    def seal(self) -> None:
-        """Permanently close this epoch's files (audit completion)."""
+    def seal(self, close_time: int = 0) -> None:
+        """Permanently close this epoch's files (audit completion).
+
+        A CLOSE_EPOCH record terminates the log before sealing, so a
+        sealed epoch is self-delimiting: a replay of a sealed epoch that
+        does not end on CLOSE_EPOCH saw a truncated log.  Idempotent —
+        re-sealing an already-sealed epoch appends nothing.
+        """
+        if not self.worm.meta(self.name).sealed:
+            self.append(CLogRecord(rtype=CLogType.CLOSE_EPOCH,
+                                   timestamp=close_time))
+            self.barrier()
         self.worm.seal(self.name)
         self.worm.seal(self.aux)
 

@@ -40,7 +40,7 @@ from ..worm import WormServer
 from .compliance_log import ComplianceLog
 from .holds import HOLDS_SCHEMA, HoldManager
 from .plugin import CompliancePlugin
-from .shredding import EXPIRY_RELATION, EXPIRY_SCHEMA, Shredder
+from .shredding import EXPIRY_SCHEMA, Shredder
 from .snapshot import write_snapshot
 
 
@@ -181,7 +181,7 @@ class CompliantDB:
         meta.meta["audit_epoch"] = new_epoch
         self.engine.buffer.mark_dirty(meta)
         if self.mode is not ComplianceMode.REGULAR:
-            self.clog.seal()
+            self.clog.seal(close_time=self.clock.now())
             self.clog = ComplianceLog(self.worm, new_epoch,
                                       retention=self.config.compliance
                                       .worm_retention)

@@ -37,6 +37,18 @@ from .snapshot import load_snapshot
 
 NormId = Tuple[int, bytes, bool, int]
 
+#: record types that carry no tuple provenance for forensics: outcome
+#: markers, page-replay records, and epoch bookkeeping are consumed by
+#: the audit itself and never localise a tampered version
+_NO_PROVENANCE = frozenset({
+    CLogType.ABORT,
+    CLogType.UNDO,
+    CLogType.PAGE_SPLIT,
+    CLogType.START_RECOVERY,
+    CLogType.PAGE_RESET,
+    CLogType.CLOSE_EPOCH,
+})
+
 
 @dataclass
 class TamperEvidence:
@@ -94,6 +106,8 @@ class ForensicAnalyzer:
         commit_map: Dict[int, int] = {}
         read_times: Dict[int, List[int]] = {}
         for _, record in db.clog.records():
+            if record.rtype in _NO_PROVENANCE:
+                continue
             if record.rtype == CLogType.STAMP_TRANS and \
                     not record.heartbeat:
                 commit_map.setdefault(record.txn_id, record.commit_time)
@@ -167,6 +181,8 @@ class ForensicAnalyzer:
         # versions that legally left the live set are not evidence
         legally_gone: Set[NormId] = set()
         for _, record in self._db.clog.records():
+            if record.rtype in _NO_PROVENANCE:
+                continue
             if record.rtype == CLogType.SHREDDED:
                 legally_gone.add((record.relation_id, record.key, True,
                                   record.start))

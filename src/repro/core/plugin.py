@@ -51,7 +51,7 @@ from ..common.config import ComplianceMode
 from ..common.errors import PageFormatError
 from ..btree.events import SplitEvent, TimeSplitEvent
 from ..crypto import SeqHash, h
-from ..storage.page import FREE, INTERNAL, LEAF, META, PAGE_MAGIC, Page
+from ..storage.page import INTERNAL, LEAF, PAGE_MAGIC, Page
 from ..storage.record import TupleVersion
 from ..temporal.engine import Engine
 from ..txn import Transaction

@@ -31,9 +31,9 @@ history including the end-of-life marker may go.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from ..common.codec import Field, FieldType, Schema, encode_key
+from ..common.codec import Field, FieldType, Schema
 from ..common.errors import RelationNotFoundError, ShreddingError
 from ..storage.record import TupleVersion
 from ..temporal.history import HistPageRef, decode_hist_page, \

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..common.errors import PageFormatError
 from .record import TupleVersion

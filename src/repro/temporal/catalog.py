@@ -17,8 +17,6 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Optional
-
 from ..common.codec import Field, FieldType, Schema
 
 CATALOG_RELATION_ID = 0

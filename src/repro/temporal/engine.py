@@ -33,7 +33,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..btree import BPlusTree, TSBTree
 from ..btree.events import SplitEvent, TimeSplitEvent
@@ -51,8 +51,7 @@ from ..storage.record import TupleVersion
 from ..txn import LockMode, Transaction, TransactionManager, WriteOp
 from ..wal import TransactionLog, WalRecord, WalRecordType, analyse
 from ..worm import WormServer
-from .catalog import (CATALOG_RELATION_ID, CATALOG_SCHEMA, RelationInfo,
-                      schema_from_json)
+from .catalog import CATALOG_RELATION_ID, CATALOG_SCHEMA, RelationInfo
 from .history import (HistoricalDirectory, HistPageRef, decode_hist_page,
                       encode_hist_page)
 

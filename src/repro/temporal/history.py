@@ -19,7 +19,7 @@ import json
 import struct
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..common.errors import StorageError
 from ..storage.record import TupleVersion

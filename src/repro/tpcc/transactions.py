@@ -14,8 +14,8 @@ items; the update counts the paper's figures depend on are unchanged.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from ..common.errors import TransactionAborted
 from .schema import TPCCScale, last_name

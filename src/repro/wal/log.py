@@ -19,13 +19,13 @@ from typing import Iterator, List, Optional
 
 from ..common.errors import WalError
 from ..worm import WormServer
-from .records import WalRecord, WalRecordType
+from .records import WalRecord
 
 
 class TransactionLog:
     """Append/flush/replay interface over the WAL file."""
 
-    def __init__(self, path: os.PathLike, sync_writes: bool = False):
+    def __init__(self, path: "os.PathLike[str]", sync_writes: bool = False):
         self.path = Path(path)
         self._sync = sync_writes
         self._file = open(self.path, "ab")

@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 import struct
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..common.errors import WalError
 

@@ -15,8 +15,9 @@ compliance plugin and auditor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, Iterable, List, Set
 
+from ..common.errors import WalError
 from .records import WalRecord, WalRecordType
 
 
@@ -43,8 +44,14 @@ class RecoveryPlan:
         return "loser"
 
 
-def analyse(records) -> RecoveryPlan:
-    """Run the analysis pass over an iterable of durable WAL records."""
+def analyse(records: Iterable[WalRecord]) -> RecoveryPlan:
+    """Run the analysis pass over an iterable of durable WAL records.
+
+    Every :class:`WalRecordType` is classified explicitly; a record type
+    this pass does not know (someone added one without teaching
+    recovery) raises :class:`WalError` rather than being silently
+    misfiled as a participation record.
+    """
     plan = RecoveryPlan()
     seen: Set[int] = set()
     for record in records:
@@ -59,5 +66,12 @@ def analyse(records) -> RecoveryPlan:
             plan.committed[record.txn_id] = record.commit_time
         elif record.rtype == WalRecordType.ABORT:
             plan.aborted.add(record.txn_id)
+        elif record.rtype not in (WalRecordType.BEGIN,
+                                  WalRecordType.INSERT):
+            # BEGIN/INSERT only mark participation; anything else here
+            # is a record type recovery was never taught to classify
+            raise WalError(
+                f"recovery has no analysis arm for WAL record type "
+                f"{record.rtype!r}")
     plan.losers = seen - set(plan.committed) - plan.aborted
     return plan

@@ -27,7 +27,7 @@ import os
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import IO, Dict, List, Optional, TextIO
 
 from ..common.clock import SimulatedClock
 from ..common.errors import (WormError, WormFileExistsError,
@@ -91,7 +91,7 @@ class WormServer:
         without an explicit one.
     """
 
-    def __init__(self, root: os.PathLike, clock: SimulatedClock,
+    def __init__(self, root: "os.PathLike[str]", clock: SimulatedClock,
                  default_retention: int, fsync: bool = False):
         if default_retention <= 0:
             raise WormError("default_retention must be positive")
@@ -103,7 +103,7 @@ class WormServer:
         self._files: Dict[str, WormFileMeta] = {}
         #: open handles for append-only files (hot path: the compliance
         #: log receives one append per record)
-        self._append_handles: Dict[str, object] = {}
+        self._append_handles: Dict[str, IO[bytes]] = {}
         #: group-commit buffers: per-file chunks appended with
         #: ``durable=False`` that have not yet been written out.  A
         #: simulated crash drops them (:meth:`drop_buffers`), exactly as
@@ -112,7 +112,7 @@ class WormServer:
         self._buffered_len: Dict[str, int] = {}
         self.stats = WormStats()
         self._journal_path = self._root / _META_JOURNAL
-        self._journal_handle = None
+        self._journal_handle: Optional[TextIO] = None
         self._replay_journal()
 
     # -- clock ---------------------------------------------------------------
@@ -286,7 +286,7 @@ class WormServer:
             else min(offset + max(0, length), meta.size)
         if offset >= end:
             return b""
-        parts = []
+        parts: List[bytes] = []
         durable_size = meta.size - self._buffered_len.get(name, 0)
         if offset < durable_size:
             with open(self._path_for(name), "rb") as handle:
@@ -360,8 +360,8 @@ class WormServer:
     def _path_for(self, name: str) -> Path:
         return self._root / name
 
-    def _journal(self, op: str, name: str, **extra) -> None:
-        entry = {"op": op, "name": name}
+    def _journal(self, op: str, name: str, **extra: object) -> None:
+        entry: Dict[str, object] = {"op": op, "name": name}
         entry.update(extra)
         if self._journal_handle is None:
             self._journal_handle = open(self._journal_path, "a",

@@ -1,0 +1,21 @@
+"""Known-bad fixture: three barrier-dominance violations.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+
+class BadPager:
+    def write_page(self, pgno, data):
+        # physical write with no pwrite_barriers run first
+        self._file.seek(pgno * 4096)
+        self._file.write(data)
+
+
+def flush_batch(pager, pgno, raw):
+    # phase 2 with no phase-1 emit_write_hooks before it
+    pager.write_page(pgno, raw, hooks_done=True)
+
+
+def tamper(pager, pgno, raw):
+    # bypasses the hook/barrier seam entirely
+    pager.write_raw(pgno, raw)

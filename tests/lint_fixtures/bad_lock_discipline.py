@@ -1,0 +1,17 @@
+"""Known-bad fixture: acquired locks that can escape their release.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+
+def leak_forever(locks, resource):
+    locks.acquire(resource, "S")
+    return resource  # no release_all anywhere, no owning transaction
+
+
+def escape_between(locks, resource):
+    locks.acquire(resource, "S")
+    if resource is None:
+        return None  # exits with the lock still held
+    locks.release_all(resource)
+    return resource

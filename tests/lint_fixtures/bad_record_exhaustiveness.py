@@ -1,0 +1,21 @@
+# repro-lint: exhaustive=RecType
+"""Known-bad fixture: a dispatcher with no arm for RecType.CLOSE.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+import enum
+
+
+class RecType(enum.IntEnum):
+    PUT = 1
+    DELETE = 2
+    CLOSE = 3
+
+
+def dispatch(record):
+    if record.rtype == RecType.PUT:
+        return "put"
+    if record.rtype == RecType.DELETE:
+        return "delete"
+    return None  # CLOSE silently falls through

@@ -1,0 +1,23 @@
+"""Known-bad fixture: nondeterminism feeding the audit replay.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+import random
+import time
+
+
+def stamp_now():
+    return int(time.time() * 1_000_000)  # wall clock, not the sim clock
+
+
+def jitter():
+    return random.random()  # shared unseeded generator
+
+
+def fresh_rng():
+    return random.Random()  # Random() without a seed
+
+
+def page_digest(h, entries):
+    return h(entries.values())  # dict-order feed into a hash

@@ -1,0 +1,23 @@
+"""Known-bad fixture: buffers mutated after a WORM append.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+
+def mutate_after_append(worm, record):
+    buf = bytearray(record)
+    worm.append("log", buf, durable=False)
+    buf.extend(b"tampered")  # the group-commit buffer sees this
+    return buf
+
+
+def store_after_append(clog, frame):
+    clog.append(frame)
+    frame[0] = 0  # subscript store through the logged object
+
+
+def mutate_through_alias(worm, record):
+    buf = bytearray(record)
+    alias = buf
+    worm.append("log", buf, durable=False)
+    alias.append(0)  # same object, different name

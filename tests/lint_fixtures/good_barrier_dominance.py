@@ -1,0 +1,19 @@
+"""Known-good fixture: write-backs dominated by barriers/hook emission.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+
+class GoodPager:
+    def write_page(self, pgno, data, hooks_done=False):
+        if not hooks_done:
+            self.emit_write_hooks(pgno, data)
+        for barrier in self.pwrite_barriers:
+            barrier(pgno)
+        self._file.seek(pgno * 4096)
+        self._file.write(data)
+
+
+def flush_batch(pager, pgno, raw):
+    pager.emit_write_hooks(pgno, raw)
+    pager.write_page(pgno, raw, hooks_done=True)

@@ -1,0 +1,25 @@
+"""Known-good fixture: every acquire has an owned or guaranteed release.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+
+def txn_scoped(locks, txn, resource):
+    # strict 2PL: the transaction owns the lock; the manager's
+    # commit/abort releases it
+    locks.acquire(txn, resource, "X")
+
+
+def finally_guarded(locks, resource):
+    locks.acquire(resource, "S")
+    try:
+        return resource
+    finally:
+        locks.release_all(resource)
+
+
+def straight_line(locks, resource):
+    locks.acquire(resource, "S")
+    value = resource
+    locks.release_all(resource)
+    return value

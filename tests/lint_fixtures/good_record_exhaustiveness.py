@@ -1,0 +1,23 @@
+# repro-lint: exhaustive=RecType
+"""Known-good fixture: every RecType member has a dispatch arm.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+import enum
+
+
+class RecType(enum.IntEnum):
+    PUT = 1
+    DELETE = 2
+    CLOSE = 3
+
+
+def dispatch(record):
+    if record.rtype == RecType.PUT:
+        return "put"
+    if record.rtype == RecType.DELETE:
+        return "delete"
+    if record.rtype == RecType.CLOSE:
+        return "close"
+    return None

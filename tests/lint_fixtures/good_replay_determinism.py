@@ -1,0 +1,23 @@
+"""Known-good fixture: deterministic replay inputs only.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+import random
+import time
+
+
+def stamp_now(clock):
+    return clock.now()  # the simulated/compliance clock
+
+
+def phase_timer():
+    return time.perf_counter()  # metrics only, never hashed
+
+
+def seeded_rng(seed):
+    return random.Random(seed)
+
+
+def page_digest(h, entries):
+    return h(sorted(entries.values()))  # order fixed before hashing

@@ -1,0 +1,22 @@
+"""Known-good fixture: logged bytes are never touched after handoff.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+
+def append_and_leave_alone(worm, record):
+    blob = bytes(record)
+    worm.append("log", blob, durable=False)
+    return len(blob)
+
+
+def mutate_before_append(worm, record):
+    buf = bytearray(record)
+    buf.extend(b"header")  # mutation strictly before the handoff
+    worm.append("log", buf, durable=False)
+
+
+def rebind_is_fine(clog, frame):
+    clog.append(frame)
+    frame = b"new object"  # rebinding the name aliases nothing
+    return frame

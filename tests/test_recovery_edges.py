@@ -1,0 +1,198 @@
+"""Recovery-analysis edge cases (Section IV-B).
+
+Covers the WAL analysis pass on adversarial interleavings of
+ABORT/COMMIT/system records, torn and truncated log tails, and —
+end-to-end — what the *audit* says after recovery ran over each shape:
+honest crashes must stay COMPLIANT, a doctored WAL tail must not.
+"""
+
+import pytest
+
+from repro import (Auditor, ComplianceConfig, ComplianceMode, CompliantDB,
+                   DBConfig, EngineConfig, Field, FieldType, Schema,
+                   SimulatedClock, minutes)
+from repro.common.errors import WalError
+from repro.wal import WalRecord, WalRecordType, analyse
+from repro.wal.log import TransactionLog
+
+ROWS = Schema("rows", [
+    Field("k", FieldType.INT),
+    Field("v", FieldType.INT),
+], key_fields=["k"])
+
+
+def rec(rtype, txn=0, **kw):
+    return WalRecord(rtype, txn_id=txn, **kw)
+
+
+class TestAnalyse:
+    def test_interleaved_outcomes(self):
+        plan = analyse([
+            rec(WalRecordType.BEGIN, 1),
+            rec(WalRecordType.BEGIN, 2),
+            rec(WalRecordType.INSERT, 1),
+            rec(WalRecordType.COMMIT, 1, commit_time=100),
+            rec(WalRecordType.BEGIN, 3),
+            rec(WalRecordType.ABORT, 2),
+            rec(WalRecordType.INSERT, 3),
+        ])
+        assert plan.committed == {1: 100}
+        assert plan.aborted == {2}
+        assert plan.losers == {3}
+        assert plan.outcome_of(1) == "committed"
+        assert plan.outcome_of(2) == "aborted"
+        assert plan.outcome_of(3) == "loser"
+
+    def test_system_records_carry_no_outcome(self):
+        plan = analyse([
+            rec(WalRecordType.CHECKPOINT),
+            rec(WalRecordType.TIME_SPLIT),
+            rec(WalRecordType.PHYS_DELETE),
+        ])
+        assert not plan.committed
+        assert not plan.aborted
+        assert not plan.losers
+        assert len(plan.records) == 3
+
+    def test_abort_after_activity_wins_over_loser(self):
+        plan = analyse([
+            rec(WalRecordType.BEGIN, 4),
+            rec(WalRecordType.INSERT, 4),
+            rec(WalRecordType.ABORT, 4),
+        ])
+        assert plan.aborted == {4}
+        assert plan.losers == set()
+
+    def test_unknown_record_type_raises(self):
+        record = rec(WalRecordType.BEGIN, 7)
+        record.rtype = 99  # a type recovery was never taught to classify
+        with pytest.raises(WalError):
+            analyse([record])
+
+
+class TestTornTail:
+    def test_partial_final_frame_is_ignored(self, tmp_path):
+        log = TransactionLog(tmp_path / "wal.log")
+        for txn in range(3):
+            log.append(rec(WalRecordType.BEGIN, txn))
+        log.flush()
+        log.close()
+        torn = rec(WalRecordType.COMMIT, 9, commit_time=5).to_bytes()
+        with open(tmp_path / "wal.log", "ab") as fh:
+            fh.write(torn[:len(torn) // 2])
+
+        log = TransactionLog(tmp_path / "wal.log")
+        records = list(log.iter_records())
+        log.close()
+        assert [r.txn_id for r in records] == [0, 1, 2]
+        plan = analyse(records)
+        assert plan.losers == {0, 1, 2}
+
+    def test_corrupt_mid_log_byte_ends_replay(self, tmp_path):
+        log = TransactionLog(tmp_path / "wal.log")
+        first = log.append(rec(WalRecordType.BEGIN, 1))
+        log.append(rec(WalRecordType.COMMIT, 1, commit_time=7))
+        log.flush()
+        log.close()
+        data = (tmp_path / "wal.log").read_bytes()
+        flipped = bytearray(data)
+        flipped[-3] ^= 0xFF  # CRC of the final frame no longer matches
+        (tmp_path / "wal.log").write_bytes(bytes(flipped))
+
+        log = TransactionLog(tmp_path / "wal.log")
+        records = list(log.iter_records())
+        log.close()
+        assert [r.lsn for r in records] == [first]
+        assert analyse(records).losers == {1}
+
+
+def make_db(tmp_path, mode=ComplianceMode.HASH_ON_READ):
+    db = CompliantDB.create(
+        tmp_path / "db", clock=SimulatedClock(), mode=mode,
+        config=DBConfig(engine=EngineConfig(page_size=1024,
+                                            buffer_pages=16),
+                        compliance=ComplianceConfig(
+                            regret_interval=minutes(5))))
+    db.create_relation(ROWS)
+    return db
+
+
+def put(db, k, v):
+    with db.transaction() as txn:
+        db.insert(txn, "rows", {"k": k, "v": v})
+
+
+class TestCrashInterleavingsThenAudit:
+    def test_commit_abort_loser_mix(self, tmp_path):
+        db = make_db(tmp_path)
+        put(db, 1, 1)                                   # committed
+        rolled = db.begin()
+        db.insert(rolled, "rows", {"k": 2, "v": 2})
+        db.abort(rolled)                                # explicit ABORT
+        loser = db.begin()
+        db.insert(loser, "rows", {"k": 3, "v": 3})      # no outcome
+        db.engine.wal.flush()
+        db.crash()
+        db.recover()
+        assert db.get("rows", (1,))["v"] == 1
+        assert db.get("rows", (2,)) is None
+        assert db.get("rows", (3,)) is None
+        assert db.clog.record_counts().get("START_RECOVERY", 0) == 1
+        report = Auditor(db).audit()
+        assert report.ok, report.summary()
+
+    def test_aborted_txn_with_stolen_page(self, tmp_path):
+        db = make_db(tmp_path)
+        put(db, 1, 1)
+        rolled = db.begin()
+        db.insert(rolled, "rows", {"k": 5, "v": 5})
+        db.engine.wal.flush()
+        db.engine.checkpoint()      # uncommitted tuple reaches disk
+        db.abort(rolled)
+        db.crash()
+        db.recover()
+        assert db.get("rows", (5,)) is None
+        report = Auditor(db).audit()
+        assert report.ok, report.summary()
+
+    def test_recover_crash_recover(self, tmp_path):
+        # START_RECOVERY interleaving: a second crash right after
+        # recovery, before any new work, must still audit clean
+        db = make_db(tmp_path)
+        for k in range(6):
+            put(db, k, k)
+        db.crash()
+        db.recover()
+        db.crash()
+        db.recover()
+        assert len(db.scan("rows")) == 6
+        assert db.clog.record_counts().get("START_RECOVERY", 0) == 2
+        report = Auditor(db).audit()
+        assert report.ok, report.summary()
+
+    def test_truncated_wal_tail_is_detected_by_audit(self, tmp_path):
+        # an adversary truncates the local WAL after the crash, erasing
+        # the last committed transaction; the WORM mirror still has it,
+        # so the audit must refuse to call the database compliant
+        db = make_db(tmp_path)
+        for k in range(5):
+            put(db, k, k)
+        db.crash()
+        wal_path = db.engine.wal.path
+        data = wal_path.read_bytes()
+        begin_offsets = []
+        offset = 0
+        while offset < len(data):
+            record, nxt = WalRecord.from_bytes(data, offset)
+            if record.rtype == WalRecordType.BEGIN:
+                begin_offsets.append(offset)
+            offset = nxt
+        with open(wal_path, "r+b") as fh:
+            fh.truncate(begin_offsets[-1])
+        db.recover()
+        report = Auditor(db).audit(rotate=False)
+        assert not report.ok
+        assert report.codes() & {"log-wal-divergence",
+                                 "recovery-inconsistent",
+                                 "completeness", "abort-and-commit"}, \
+            report.summary()

@@ -1,0 +1,174 @@
+"""Self-tests for the repro-lint static analyzer.
+
+Each rule has a known-bad and a known-good fixture in
+``tests/lint_fixtures/``; the bad one must trip exactly its rule and the
+good one must be fully clean.  The suite also covers the suppression
+machinery (line/file scope, mandatory justifications), the CLI surface
+(text/JSON output, exit codes), and — the acceptance criterion — that
+the real source tree lints clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULE_REGISTRY, run_lint
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+RULES = [
+    "barrier-dominance",
+    "worm-immutability",
+    "record-exhaustiveness",
+    "replay-determinism",
+    "lock-discipline",
+]
+
+#: violations deliberately planted in each bad fixture
+EXPECTED_BAD = {
+    "barrier-dominance": 3,
+    "worm-immutability": 3,
+    "record-exhaustiveness": 1,
+    "replay-determinism": 4,
+    "lock-discipline": 2,
+}
+
+
+def fixture(kind: str, rule: str) -> str:
+    return str(FIXTURES / f"{kind}_{rule.replace('-', '_')}.py")
+
+
+class TestRuleFixtures:
+    def test_all_rules_registered(self):
+        assert set(RULES) <= set(RULE_REGISTRY)
+
+    @pytest.mark.parametrize("rule", RULES)
+    def test_bad_fixture_is_flagged(self, rule):
+        findings = run_lint([fixture("bad", rule)], select=[rule])
+        assert len(findings) == EXPECTED_BAD[rule], \
+            "\n".join(str(f) for f in findings)
+        assert all(f.rule == rule for f in findings)
+
+    @pytest.mark.parametrize("rule", RULES)
+    def test_good_fixture_is_clean_under_every_rule(self, rule):
+        assert run_lint([fixture("good", rule)]) == []
+
+    def test_findings_carry_locations(self):
+        findings = run_lint([fixture("bad", "lock-discipline")],
+                            select=["lock-discipline"])
+        for finding in findings:
+            assert finding.line > 0
+            assert finding.path.endswith("bad_lock_discipline.py")
+            assert "[lock-discipline]" in str(finding)
+
+    def test_exhaustiveness_needs_enum_in_file_set(self, tmp_path):
+        # a marker whose enum is outside the linted set is itself an error
+        mod = tmp_path / "orphan.py"
+        mod.write_text("# repro-lint: exhaustive=ElsewhereType\n")
+        findings = run_lint([str(mod)], select=["record-exhaustiveness"])
+        assert len(findings) == 1
+        assert "not in the linted file set" in findings[0].message
+
+
+class TestSuppressions:
+    BAD_LINE = ("def tamper(pager, pgno, raw):\n"
+                "    pager.write_raw(pgno, raw)")
+
+    def test_justified_line_suppression_silences(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            self.BAD_LINE + "  # repro-lint: "
+            "disable=barrier-dominance -- exercising the seam\n")
+        assert run_lint([str(mod)]) == []
+
+    def test_unjustified_suppression_is_reported(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            self.BAD_LINE + "  # repro-lint: disable=barrier-dominance\n")
+        findings = run_lint([str(mod)])
+        assert [f.rule for f in findings] == ["suppression-justification"]
+
+    def test_file_scope_suppression(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "# repro-lint: disable-file=barrier-dominance -- test file\n"
+            "def one(pager):\n"
+            "    pager.write_raw(1, b'')\n"
+            "def two(pager):\n"
+            "    pager.write_raw(2, b'')\n")
+        assert run_lint([str(mod)]) == []
+
+    def test_suppression_of_other_rule_does_not_silence(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            self.BAD_LINE + "  # repro-lint: "
+            "disable=lock-discipline -- wrong rule\n")
+        findings = run_lint([str(mod)])
+        assert [f.rule for f in findings] == ["barrier-dominance"]
+
+    def test_suppression_only_covers_its_line(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "def one(pager):\n"
+            "    pager.write_raw(1, b'')  # repro-lint: "
+            "disable=barrier-dominance -- first only\n"
+            "def two(pager):\n"
+            "    pager.write_raw(2, b'')\n")
+        findings = run_lint([str(mod)])
+        assert len(findings) == 1
+        assert findings[0].line == 4
+
+
+class TestCli:
+    def test_text_output_and_exit_one(self, capsys):
+        code = main([fixture("bad", "barrier-dominance")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[barrier-dominance]" in out
+        assert "finding(s)" in out
+
+    def test_clean_exit_zero(self, capsys):
+        code = main([fixture("good", "barrier-dominance")])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        code = main(["--format", "json",
+                     fixture("bad", "replay-determinism")])
+        assert code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert len(data) == EXPECTED_BAD["replay-determinism"]
+        assert {"rule", "path", "line", "col", "message"} <= set(data[0])
+
+    def test_select_restricts_rules(self, capsys):
+        code = main(["--select", "lock-discipline",
+                     fixture("bad", "barrier-dominance")])
+        assert code == 0  # barrier violations invisible to this rule
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--select", "no-such-rule",
+                     fixture("good", "lock-discipline")]) == 2
+
+    def test_unparseable_file_is_usage_error(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def broken(:\n")
+        assert main([str(broken)]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
+
+
+class TestSourceTree:
+    def test_src_lints_clean(self):
+        # the acceptance criterion: repro-lint src/ exits 0
+        findings = run_lint([str(SRC)])
+        assert findings == [], "\n".join(str(f) for f in findings)
