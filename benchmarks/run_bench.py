@@ -2,18 +2,22 @@
 """Standalone Fig 3(a) benchmark runner for perf tracking across PRs.
 
 Executes the three-architecture TPC-C sweep (REGULAR / LOG_CONSISTENT /
-HASH_ON_READ) at a fixed small scale and writes a JSON report — by
-default ``BENCH_PR1.json`` in the repository root — with txn/s and
-compliance overhead percentages per mode, plus the WORM server's flush
-counters so the group-commit batching win is visible per run.
+HASH_ON_READ) at a fixed small scale and writes a JSON report — the
+``--out`` file, ``BENCH_PR4.json`` in the repository root by default —
+with txn/s and compliance overhead percentages per mode, a full
+``repro.obs`` metrics snapshot and trace span counts per mode, and an
+instrumentation-overhead measurement (enabled vs no-op registry).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py \
-        [--txns N] [--out FILE] [--baseline FILE] [--label NAME]
+        [--txns N] [--out FILE] [--baseline FILE] [--label NAME] \
+        [--quick] [--max-overhead PCT]
 
 ``--baseline`` embeds a previously captured report under ``"baseline"``
-so a single file shows before/after.
+so a single file shows before/after.  ``--quick`` shrinks the run for
+CI smoke jobs; ``--max-overhead`` makes the process exit non-zero when
+the measured instrumentation overhead exceeds the given percentage.
 """
 
 from __future__ import annotations
@@ -38,15 +42,18 @@ MODES = (ComplianceMode.REGULAR, ComplianceMode.LOG_CONSISTENT,
          ComplianceMode.HASH_ON_READ)
 
 
-def _worm_counters(db) -> dict:
-    """WORM server counters, if the server exposes them (post-PR-1)."""
-    stats = getattr(db.worm, "stats", None)
-    if stats is None:
-        return {}
-    return {name: getattr(stats, name)
-            for name in ("appends", "buffered_appends", "flushes",
-                         "fsyncs", "bytes_written")
-            if hasattr(stats, name)}
+def _worm_counters(metrics: dict) -> dict:
+    """WORM server counters, read from the unified metrics snapshot."""
+    counters = metrics.get("counters", {})
+    return {short: counters[name]
+            for short, name in (("appends", "worm_appends_total"),
+                                ("buffered_appends",
+                                 "worm_buffered_appends_total"),
+                                ("flushes", "worm_flushes_total"),
+                                ("fsyncs", "worm_fsyncs_total"),
+                                ("bytes_written",
+                                 "worm_bytes_written_total"))
+            if name in counters}
 
 
 def _sizing_pages(root: Path, scale: TPCCScale) -> int:
@@ -69,7 +76,8 @@ def run_sweep(txns: int, root: Path) -> dict:
         started = time.perf_counter()
         result = driver.run(txns)
         elapsed = time.perf_counter() - started
-        worm = _worm_counters(db)
+        metrics = db.metrics()
+        worm = _worm_counters(metrics)
         entry = {
             "transactions": result.transactions,
             "committed": result.committed,
@@ -82,9 +90,12 @@ def run_sweep(txns: int, root: Path) -> dict:
             if worm.get("flushes") is not None:
                 entry["worm_flushes_per_1000_txns"] = round(
                     worm["flushes"] * 1000.0 / max(1, txns), 1)
-        plugin = db.plugin
-        if plugin is not None:
-            entry["clog_records"] = sum(plugin.stats.records.values())
+        clog_records = sum(
+            value for name, value in metrics["counters"].items()
+            if name.startswith("clog_records_total"))
+        if clog_records:
+            entry["clog_records"] = clog_records
+        entry["metrics"] = metrics
         db.close()
         modes[mode.value] = entry
     base = modes[ComplianceMode.REGULAR.value]["elapsed_seconds"]
@@ -96,18 +107,67 @@ def run_sweep(txns: int, root: Path) -> dict:
             "overhead_pct": overhead}
 
 
+def measure_obs_overhead(txns: int, root: Path, repeats: int = 3) -> dict:
+    """Instrumentation cost: live registry/tracer vs the no-op bundle.
+
+    Both variants run the identical LOG_CONSISTENT workload with zero
+    simulated I/O delay, so the comparison is pure CPU.  A discarded
+    warm-up run primes allocator/bytecode caches, the variants are
+    interleaved so CPU-frequency drift hits both equally, and the best
+    of ``repeats`` runs per variant damps scheduler noise — the true
+    cost is a few percent, small enough for timing artefacts to swamp
+    a naive single-shot comparison.
+    """
+    scale = TPCCScale.small()
+
+    def one_run(enabled: bool, tag: str) -> float:
+        db = build_db(root / tag, ComplianceMode.LOG_CONSISTENT,
+                      scale, buffer_pages=256, obs_enabled=enabled,
+                      io_delay=0.0)
+        driver = make_driver(db, scale)
+        started = time.perf_counter()
+        driver.run(txns)
+        elapsed = time.perf_counter() - started
+        db.close()
+        return elapsed
+
+    one_run(True, "obs-warmup")
+    timings: dict = {True: None, False: None}
+    for attempt in range(repeats):
+        for enabled in (True, False):
+            name = f"obs-{'on' if enabled else 'off'}-{attempt}"
+            elapsed = one_run(enabled, name)
+            best = timings[enabled]
+            timings[enabled] = elapsed if best is None else \
+                min(best, elapsed)
+    pct = (timings[True] / timings[False] - 1.0) * 100.0
+    return {
+        "transactions": txns,
+        "enabled_seconds": round(timings[True], 4),
+        "disabled_seconds": round(timings[False], 4),
+        "overhead_pct": round(pct, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--txns", type=int, default=300,
                         help="transactions per mode (default 300)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent /
-                        "BENCH_PR1.json")
+                        "BENCH_PR4.json")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="embed a previously captured report")
     parser.add_argument("--label", default="current",
                         help="name for this capture (e.g. git describe)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke-test sizing (fewer transactions)")
+    parser.add_argument("--max-overhead", type=float, default=None,
+                        help="fail if instrumentation overhead exceeds "
+                             "this percentage")
     args = parser.parse_args(argv)
+    if args.quick:
+        args.txns = min(args.txns, 120)
     if args.txns < 1:
         parser.error("--txns must be at least 1")
     if args.baseline is not None and not args.baseline.exists():
@@ -115,8 +175,10 @@ def main(argv=None) -> int:
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         report = run_sweep(args.txns, Path(tmp))
+        report["instrumentation_overhead"] = measure_obs_overhead(
+            args.txns, Path(tmp))
     report = {"label": args.label, "transactions_per_mode": args.txns,
-              "scale": "small", **report}
+              "scale": "small", "quick": args.quick, **report}
     if args.baseline is not None:
         report["baseline"] = json.loads(args.baseline.read_text())
     args.out.write_text(json.dumps(report, indent=2) + "\n")
@@ -127,6 +189,14 @@ def main(argv=None) -> int:
         per_k = entry.get("worm_flushes_per_1000_txns")
         if per_k is not None:
             print(f"  {mode} WORM flushes/1000 txns: {per_k}")
+    obs = report["instrumentation_overhead"]
+    print(f"  obs instrumentation overhead: "
+          f"{obs['overhead_pct']:+.2f}% over {obs['transactions']} txns")
+    if args.max_overhead is not None and \
+            obs["overhead_pct"] > args.max_overhead:
+        print(f"  FAIL: overhead above --max-overhead "
+              f"{args.max_overhead}%", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -26,10 +26,10 @@ MODES = [ComplianceMode.LOG_CONSISTENT, ComplianceMode.HASH_ON_READ]
 
 def _fresh(tmp_path, mode):
     db = CompliantDB.create(
-        tmp_path, clock=SimulatedClock(), mode=mode,
+        tmp_path, clock=SimulatedClock(),
         config=DBConfig(engine=EngineConfig(page_size=1024,
                                             buffer_pages=32),
-                        compliance=ComplianceConfig()))
+                        compliance=ComplianceConfig(mode=mode)))
     db.create_relation(LEDGER)
     for i in range(30):
         with db.transaction() as txn:

@@ -13,8 +13,8 @@ Run:  python examples/attack_gallery.py
 import tempfile
 from pathlib import Path
 
-from repro import (Auditor, ComplianceMode, CompliantDB, Field, FieldType,
-                   Schema, minutes)
+from repro import (Auditor, ComplianceMode, CompliantDB, DBConfig, Field,
+                   FieldType, Schema, minutes)
 from repro.core import Adversary
 
 ACCOUNTS = Schema("accounts", [
@@ -25,7 +25,7 @@ ACCOUNTS = Schema("accounts", [
 
 
 def fresh_database(path: Path, mode: ComplianceMode):
-    db = CompliantDB.create(path, mode=mode)
+    db = CompliantDB.create(path, DBConfig.for_mode(mode))
     db.create_relation(ACCOUNTS)
     for acct in range(50):
         with db.transaction() as txn:

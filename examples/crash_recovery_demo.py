@@ -14,8 +14,8 @@ Run:  python examples/crash_recovery_demo.py
 import tempfile
 from pathlib import Path
 
-from repro import (Auditor, ComplianceMode, CompliantDB, Field, FieldType,
-                   Schema, minutes)
+from repro import (Auditor, ComplianceMode, CompliantDB, DBConfig, Field,
+                   FieldType, Schema, minutes)
 from repro.core import Adversary
 
 TRADES = Schema("trades", [
@@ -27,8 +27,8 @@ TRADES = Schema("trades", [
 
 def main() -> None:
     workdir = Path(tempfile.mkdtemp(prefix="repro-crash-"))
-    db = CompliantDB.create(workdir / "db",
-                            mode=ComplianceMode.HASH_ON_READ)
+    db = CompliantDB.create(
+        workdir / "db", DBConfig.for_mode(ComplianceMode.HASH_ON_READ))
     db.create_relation(TRADES)
 
     for trade in range(20):

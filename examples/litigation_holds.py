@@ -31,8 +31,9 @@ def main() -> None:
     workdir = Path(tempfile.mkdtemp(prefix="repro-holds-"))
     clock = SimulatedClock()
     db = CompliantDB.create(
-        workdir / "db", clock=clock, mode=ComplianceMode.LOG_CONSISTENT,
+        workdir / "db", clock=clock,
         config=DBConfig(compliance=ComplianceConfig(
+            mode=ComplianceMode.LOG_CONSISTENT,
             regret_interval=minutes(5))))
     db.create_relation(EMAILS)
     db.set_retention("emails", RETENTION)

@@ -11,8 +11,8 @@ Run:  python examples/quickstart.py
 import tempfile
 from pathlib import Path
 
-from repro import (Auditor, ComplianceMode, CompliantDB, Field, FieldType,
-                   Schema, minutes)
+from repro import (Auditor, ComplianceMode, CompliantDB, DBConfig, Field,
+                   FieldType, Schema, minutes)
 from repro.core import Adversary
 
 LEDGER = Schema("ledger", [
@@ -27,8 +27,9 @@ def main() -> None:
     print(f"workspace: {workdir}\n")
 
     # 1. create a compliant database (log-consistent architecture) -------
-    db = CompliantDB.create(workdir / "db",
-                            mode=ComplianceMode.LOG_CONSISTENT)
+    db = CompliantDB.create(
+        workdir / "db",
+        DBConfig.for_mode(ComplianceMode.LOG_CONSISTENT))
     db.create_relation(LEDGER)
     print("created a log-consistent compliant database")
     print(f"  compliance log on WORM: {db.clog.name}")

@@ -32,8 +32,9 @@ def main() -> None:
     workdir = Path(tempfile.mkdtemp(prefix="repro-shredding-"))
     clock = SimulatedClock()
     db = CompliantDB.create(
-        workdir / "db", clock=clock, mode=ComplianceMode.LOG_CONSISTENT,
+        workdir / "db", clock=clock,
         config=DBConfig(compliance=ComplianceConfig(
+            mode=ComplianceMode.LOG_CONSISTENT,
             regret_interval=minutes(5))))
     db.create_relation(PII)
     db.set_retention("employees", RETENTION)

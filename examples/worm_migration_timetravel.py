@@ -27,11 +27,12 @@ def main() -> None:
     workdir = Path(tempfile.mkdtemp(prefix="repro-migration-"))
     clock = SimulatedClock()
     db = CompliantDB.create(
-        workdir / "db", clock=clock, mode=ComplianceMode.LOG_CONSISTENT,
+        workdir / "db", clock=clock,
         config=DBConfig(
             engine=EngineConfig(page_size=1024, buffer_pages=64),
-            compliance=ComplianceConfig(worm_migration=True,
-                                        split_threshold=0.6)))
+            compliance=ComplianceConfig(
+                mode=ComplianceMode.LOG_CONSISTENT,
+                worm_migration=True, split_threshold=0.6)))
     db.create_relation(PRICES)
 
     # a volatile price: hundreds of updates to a handful of SKUs ---------

@@ -10,8 +10,9 @@ shredding, an auditor, an adversary toolkit, and a TPC-C workload.
 
 Quickstart::
 
-    from repro import CompliantDB, ComplianceMode
-    db = CompliantDB.create("/tmp/demo", mode=ComplianceMode.LOG_CONSISTENT)
+    from repro import CompliantDB, ComplianceMode, DBConfig
+    db = CompliantDB.create(
+        "/tmp/demo", DBConfig.for_mode(ComplianceMode.LOG_CONSISTENT))
 
 See ``examples/quickstart.py`` for a full tour.
 """

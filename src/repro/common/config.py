@@ -4,12 +4,19 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Any, List
 
 from .clock import minutes, years
 from .errors import ConfigError
 
 DEFAULT_PAGE_SIZE = 4096
 MIN_PAGE_SIZE = 256
+
+#: default latency histogram boundaries (seconds) — mirrors
+#: ``repro.obs.registry.DEFAULT_LATENCY_BUCKETS`` (kept here so the
+#: config layer does not import the obs layer)
+DEFAULT_LATENCY_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
+                           1.0, 5.0)
 
 
 class ComplianceMode(enum.Enum):
@@ -84,12 +91,57 @@ class ComplianceConfig:
 
 
 @dataclass
+class ObsConfig:
+    """Observability knobs (the ``repro.obs`` registry and tracer)."""
+
+    #: collect metrics and traces.  When False the database wires in the
+    #: shared no-op registry/tracer — the baseline the overhead
+    #: benchmark compares against.
+    enabled: bool = True
+    #: ring-buffer capacity for finished tracing spans (oldest dropped
+    #: first, with a drop counter)
+    trace_capacity: int = 4096
+    #: bucket upper bounds (seconds) for latency histograms such as
+    #: ``audit_phase_seconds``
+    latency_buckets: List[float] = field(
+        default_factory=lambda: list(DEFAULT_LATENCY_BUCKETS))
+
+    def validate(self) -> None:
+        if self.trace_capacity < 0:
+            raise ConfigError("trace_capacity must be non-negative")
+        bounds = list(self.latency_buckets)
+        if not bounds:
+            raise ConfigError("latency_buckets must not be empty")
+        if bounds != sorted(set(bounds)):
+            raise ConfigError(
+                "latency_buckets must be strictly increasing")
+
+
+@dataclass
 class DBConfig:
-    """Top-level configuration for a compliant database instance."""
+    """Top-level configuration for a compliant database instance.
+
+    The single construction path: ``CompliantDB.create(path, config)``
+    and ``open`` consume one of these (``compliance.mode`` selects the
+    architecture variant; ``obs`` configures the metrics/tracing
+    layer).
+    """
 
     engine: EngineConfig = field(default_factory=EngineConfig)
     compliance: ComplianceConfig = field(default_factory=ComplianceConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
+
+    @classmethod
+    def for_mode(cls, mode: ComplianceMode, **compliance: Any) -> \
+            "DBConfig":
+        """Convenience: a default config running in ``mode``.
+
+        Extra keyword arguments become :class:`ComplianceConfig`
+        fields, e.g. ``DBConfig.for_mode(mode, worm_migration=True)``.
+        """
+        return cls(compliance=ComplianceConfig(mode=mode, **compliance))
 
     def validate(self) -> None:
         self.engine.validate()
         self.compliance.validate()
+        self.obs.validate()

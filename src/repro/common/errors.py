@@ -20,6 +20,12 @@ class CodecError(ReproError):
     """A payload could not be encoded or decoded against its schema."""
 
 
+class ObsError(ReproError):
+    """An observability-registry invariant was violated (name/kind/label
+    conflicts, malformed histogram bucket boundaries, negative counter
+    increments)."""
+
+
 # --------------------------------------------------------------------------
 # Storage engine
 # --------------------------------------------------------------------------

@@ -126,6 +126,26 @@ class Auditor:
     def __init__(self, db, key: Optional[AuditorKey] = None):
         self._db = db
         self._key = key if key is not None else db.auditor_key
+        registry = db.obs.registry
+        self._c_pass = registry.counter(
+            "audits_total", help="audit runs by outcome", outcome="pass")
+        self._c_fail = registry.counter(
+            "audits_total", help="audit runs by outcome", outcome="fail")
+        self._phase_buckets = tuple(db.config.obs.latency_buckets)
+
+    def _end_phase(self, report: AuditReport, name: str,
+                   started: float) -> None:
+        """Record a phase's wall-clock cost (report + histogram).
+
+        Wall-clock feeds *metrics only* — nothing on the audit decision
+        path depends on it, so replay determinism is preserved.
+        """
+        elapsed = time.perf_counter() - started
+        report.phase_seconds[name] = elapsed
+        self._db.obs.registry.histogram(
+            "audit_phase_seconds", buckets=self._phase_buckets,
+            help="audit wall-clock cost by phase",
+            phase=name).observe(elapsed)
 
     # -- entry point --------------------------------------------------------------
 
@@ -142,41 +162,56 @@ class Auditor:
             raise AuditError("a REGULAR-mode database cannot be audited")
         db.prepare_for_audit()
         report = AuditReport(epoch=db.epoch)
+        with db.obs.tracer.span("audit", epoch=db.epoch) as span:
+            self._run_phases(report, rotate)
+            span.set(ok=report.ok, findings=len(report.findings))
+        (self._c_pass if report.ok else self._c_fail).inc()
+        return report
+
+    def _run_phases(self, report: AuditReport, rotate: bool) -> None:
+        db = self._db
+        tracer = db.obs.tracer
 
         started = time.perf_counter()
-        try:
-            snapshot = load_snapshot(db.worm, self._key, db.epoch)
-        except (SnapshotError, WormFileNotFoundError) as exc:
-            report.add("snapshot", f"previous snapshot unusable: {exc}")
-            return report
-        report.snapshot_tuples = snapshot.tuple_count
-        report.phase_seconds["snapshot"] = time.perf_counter() - started
+        with tracer.span("audit.snapshot"):
+            try:
+                snapshot = load_snapshot(db.worm, self._key, db.epoch)
+            except (SnapshotError, WormFileNotFoundError) as exc:
+                report.add("snapshot",
+                           f"previous snapshot unusable: {exc}")
+                self._end_phase(report, "snapshot", started)
+                return
+            report.snapshot_tuples = snapshot.tuple_count
+        self._end_phase(report, "snapshot", started)
 
         started = time.perf_counter()
-        scan = _LogScan(self, snapshot, report)
-        scan.run()
-        report.phase_seconds["log"] = time.perf_counter() - started
+        with tracer.span("audit.log"):
+            scan = _LogScan(self, snapshot, report)
+            scan.run()
+        self._end_phase(report, "log", started)
 
         started = time.perf_counter()
-        final = self._scan_final_state(report)
-        report.phase_seconds["final"] = time.perf_counter() - started
+        with tracer.span("audit.final"):
+            final = self._scan_final_state(report)
+        self._end_phase(report, "final", started)
 
         started = time.perf_counter()
-        self._check_completeness(snapshot, scan, final, report)
-        self._check_shredding(scan, final, report)
-        self._check_wal_mirror(scan, report)
-        self._check_liveness(snapshot, scan, report)
-        self._check_directory(scan, report)
-        report.phase_seconds["checks"] = time.perf_counter() - started
+        with tracer.span("audit.checks"):
+            self._check_completeness(snapshot, scan, final, report)
+            self._check_shredding(scan, final, report)
+            self._check_wal_mirror(scan, report)
+            self._check_liveness(snapshot, scan, report)
+            self._check_directory(scan, report)
+        self._end_phase(report, "checks", started)
 
         if report.ok and rotate:
             started = time.perf_counter()
-            write_snapshot(db.worm, self._key, db.engine,
-                           epoch=db.epoch + 1,
-                           retention=db.config.compliance.worm_retention)
-            report.new_epoch = db.rotate_epoch()
-            report.phase_seconds["rotate"] = time.perf_counter() - started
-        return report
+            with tracer.span("audit.rotate"):
+                write_snapshot(
+                    db.worm, self._key, db.engine, epoch=db.epoch + 1,
+                    retention=db.config.compliance.worm_retention)
+                report.new_epoch = db.rotate_epoch()
+            self._end_phase(report, "rotate", started)
 
     def verify_tuple(self, relation: str, key: Tuple) -> List[Finding]:
         """Targeted spot check of one tuple's version history.

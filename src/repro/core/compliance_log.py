@@ -167,8 +167,10 @@ class ComplianceLog:
         """Histogram of record types, from a streaming pass over L.
 
         Callers holding a plugin should prefer the continuously
-        maintained ``PluginStats.records`` — this re-parse exists for
-        readers (auditor-side tools) that only have the log.
+        maintained ``clog_records_total`` counters (see
+        ``CompliantDB.metrics()`` or ``plugin.stats.records``) — this
+        re-parse exists for readers (auditor-side tools) that only have
+        the log.
         """
         counts: dict = {}
         for _, record in self.records():

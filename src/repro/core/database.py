@@ -27,14 +27,18 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
+from dataclasses import replace
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from ..common.clock import SimulatedClock
 from ..common.codec import Schema
-from ..common.config import ComplianceMode, DBConfig
+from ..common.config import (ComplianceMode, DBConfig, EngineConfig,
+                             ObsConfig)
 from ..common.errors import ConfigError
 from ..crypto import AuditorKey
+from ..obs import Observability, metrics_report
 from ..temporal.engine import Engine, RecoveryReport
 from ..worm import WormServer
 from .compliance_log import ComplianceLog
@@ -53,25 +57,40 @@ class CompliantDB:
     """A term-immutable database instance."""
 
     def __init__(self, path: os.PathLike, clock: SimulatedClock,
-                 mode: ComplianceMode, config: DBConfig,
-                 auditor_key: AuditorKey, _create: bool):
+                 config: DBConfig, auditor_key: AuditorKey,
+                 _create: bool, obs: Optional[Observability] = None):
         self.path = Path(path)
         self.clock = clock
-        self.mode = mode
         self.config = config
         self.auditor_key = auditor_key
         config.validate()
+        mode = config.compliance.mode
+        self.mode = mode
+        #: one bundle threads through every layer; span timestamps come
+        #: from the simulated clock, so traces are replay-deterministic
+        self.obs = obs if obs is not None else \
+            Observability.from_config(config.obs, now=clock.now)
+        registry = self.obs.registry
+        self._c_crashes = registry.counter(
+            "db_crashes_total", help="simulated process crashes")
+        self._c_recoveries = registry.counter(
+            "db_recoveries_total", help="crash recoveries performed")
+        self._c_rotations = registry.counter(
+            "epoch_rotations_total", help="audit-epoch rotations")
+        self._g_epoch = registry.gauge(
+            "db_epoch", help="current audit epoch")
 
         self.worm = WormServer(self.path / "worm", clock,
                                default_retention=config.compliance
-                               .worm_retention)
+                               .worm_retention, obs=self.obs)
         engine_cls = Engine.create if _create else Engine.open
         self.engine = engine_cls(
             self.path / "db", clock, config=config.engine, worm=self.worm,
             assign_seq=(mode is ComplianceMode.HASH_ON_READ),
             worm_migration=config.compliance.worm_migration,
             split_threshold=config.compliance.split_threshold,
-            worm_retention=config.compliance.worm_retention)
+            worm_retention=config.compliance.worm_retention,
+            obs=self.obs)
 
         self.plugin: Optional[CompliancePlugin] = None
         self.clog: Optional[ComplianceLog] = None
@@ -92,7 +111,8 @@ class CompliantDB:
             self.plugin = CompliancePlugin(
                 self.engine, self.clog, mode,
                 config.compliance.regret_interval,
-                witness_retention=config.compliance.worm_retention)
+                witness_retention=config.compliance.worm_retention,
+                obs=self.obs)
             self.plugin.attach()
             if not _create:
                 self.plugin.load_epoch_state()
@@ -102,6 +122,7 @@ class CompliantDB:
 
         self.shredder = Shredder(self)
         self.holds = HoldManager(self)
+        self._g_epoch.set(self.epoch)
 
         if _create:
             if mode is not ComplianceMode.REGULAR:
@@ -119,18 +140,37 @@ class CompliantDB:
 
     @classmethod
     def create(cls, path: os.PathLike,
+               config: Optional[DBConfig] = None, *,
                clock: Optional[SimulatedClock] = None,
-               mode: ComplianceMode = ComplianceMode.LOG_CONSISTENT,
-               config: Optional[DBConfig] = None,
-               auditor_key: Optional[AuditorKey] = None) -> "CompliantDB":
-        """Create a fresh compliant database at ``path``."""
-        return cls(path, clock or SimulatedClock(), mode,
+               auditor_key: Optional[AuditorKey] = None,
+               obs: Optional[Observability] = None,
+               mode: Optional[ComplianceMode] = None) -> "CompliantDB":
+        """Create a fresh compliant database at ``path``.
+
+        ``config`` is the single construction surface: the architecture
+        variant is ``config.compliance.mode`` (see
+        :meth:`DBConfig.for_mode`), engine knobs live in
+        ``config.engine``, and metrics/tracing in ``config.obs``.  The
+        ``mode=`` keyword is a deprecated alias that overrides
+        ``config.compliance.mode``.
+        """
+        if mode is not None:
+            warnings.warn(
+                "CompliantDB.create(mode=...) is deprecated; pass "
+                "config=DBConfig.for_mode(mode) instead",
+                DeprecationWarning, stacklevel=2)
+            base = config or DBConfig()
+            config = replace(
+                base, compliance=replace(base.compliance, mode=mode))
+        return cls(path, clock or SimulatedClock(),
                    config or DBConfig(),
-                   auditor_key or AuditorKey.generate(), _create=True)
+                   auditor_key or AuditorKey.generate(), _create=True,
+                   obs=obs)
 
     @classmethod
     def open(cls, path: os.PathLike, clock: SimulatedClock,
-             auditor_key: Optional[AuditorKey] = None) -> "CompliantDB":
+             auditor_key: Optional[AuditorKey] = None,
+             obs: Optional[Observability] = None) -> "CompliantDB":
         """Re-open an existing database (mode and config come from its
         marker file, so the page size and compliance parameters always
         match what the database was created with).
@@ -139,17 +179,21 @@ class CompliantDB:
         shutdown and performs auditable crash recovery otherwise.
         """
         marker = json.loads((Path(path) / "mode.json").read_text())
-        mode = ComplianceMode(marker["mode"])
         from dataclasses import fields as dc_fields
         engine_cfg = {f.name: marker["engine"][f.name]
-                      for f in dc_fields(type(DBConfig().engine))}
+                      for f in dc_fields(EngineConfig)}
         compliance_cfg = dict(marker["compliance"])
-        compliance_cfg["mode"] = ComplianceMode(compliance_cfg["mode"])
+        # the top-level marker field is authoritative: markers written
+        # before the config-first API may carry a stale default mode in
+        # their compliance section
+        compliance_cfg["mode"] = ComplianceMode(marker["mode"])
         config = DBConfig(
-            engine=type(DBConfig().engine)(**engine_cfg),
-            compliance=type(DBConfig().compliance)(**compliance_cfg))
-        return cls(path, clock, mode, config,
-                   auditor_key or AuditorKey.generate(), _create=False)
+            engine=EngineConfig(**engine_cfg),
+            compliance=type(DBConfig().compliance)(**compliance_cfg),
+            obs=ObsConfig(**marker.get("obs", {})))
+        return cls(path, clock, config,
+                   auditor_key or AuditorKey.generate(), _create=False,
+                   obs=obs)
 
     def _write_mode_marker(self) -> None:
         from dataclasses import asdict
@@ -158,7 +202,8 @@ class CompliantDB:
         compliance["mode"] = self.config.compliance.mode.value
         (self.path / "mode.json").write_text(json.dumps(
             {"mode": self.mode.value, "engine": engine,
-             "compliance": compliance}))
+             "compliance": compliance,
+             "obs": asdict(self.config.obs)}))
 
     def _check_mode_marker(self) -> None:
         marker = json.loads((self.path / "mode.json").read_text())
@@ -176,22 +221,27 @@ class CompliantDB:
     def rotate_epoch(self) -> int:
         """Advance to the next epoch (called by the auditor after success).
         """
-        meta = self.engine.buffer.get(0)
-        new_epoch = meta.meta["audit_epoch"] + 1
-        meta.meta["audit_epoch"] = new_epoch
-        self.engine.buffer.mark_dirty(meta)
-        if self.mode is not ComplianceMode.REGULAR:
-            self.clog.seal(close_time=self.clock.now())
-            self.clog = ComplianceLog(self.worm, new_epoch,
-                                      retention=self.config.compliance
-                                      .worm_retention)
-            self.plugin.rotate_epoch(self.clog)
-            self.worm.seal(wal_mirror_name(new_epoch - 1))
-            self.engine.wal.truncate()
-            self.engine.wal.set_worm_mirror(
-                self.worm, wal_mirror_name(new_epoch),
-                retention=self.config.compliance.worm_retention)
-        self.engine.checkpoint()
+        with self.obs.tracer.span("epoch.rotate", epoch=self.epoch):
+            meta = self.engine.buffer.get(0)
+            new_epoch = meta.meta["audit_epoch"] + 1
+            meta.meta["audit_epoch"] = new_epoch
+            self.engine.buffer.mark_dirty(meta)
+            if self.mode is not ComplianceMode.REGULAR:
+                with self.obs.tracer.span("clog.seal",
+                                          epoch=new_epoch - 1):
+                    self.clog.seal(close_time=self.clock.now())
+                self.clog = ComplianceLog(self.worm, new_epoch,
+                                          retention=self.config.compliance
+                                          .worm_retention)
+                self.plugin.rotate_epoch(self.clog)
+                self.worm.seal(wal_mirror_name(new_epoch - 1))
+                self.engine.wal.truncate()
+                self.engine.wal.set_worm_mirror(
+                    self.worm, wal_mirror_name(new_epoch),
+                    retention=self.config.compliance.worm_retention)
+            self.engine.checkpoint()
+        self._c_rotations.inc()
+        self._g_epoch.set(new_epoch)
         return new_epoch
 
     # -- data API (delegation) -----------------------------------------------------------
@@ -301,6 +351,7 @@ class CompliantDB:
         if self.plugin is not None:
             self.plugin.on_crash()
         self._was_clean = False
+        self._c_crashes.inc()
 
     def recover(self) -> RecoveryReport:
         """Auditable crash recovery (a true no-op after a clean shutdown).
@@ -312,15 +363,28 @@ class CompliantDB:
         """
         if self._was_clean:
             return RecoveryReport()
-        if self.plugin is not None:
-            self.plugin.begin_recovery()
-            report = self.engine.recover(
-                on_outcomes=self.plugin.recovery_outcomes)
-            self.shredder.finish_pending()
-        else:
-            report = self.engine.recover()
+        with self.obs.tracer.span("db.recover"):
+            if self.plugin is not None:
+                self.plugin.begin_recovery()
+                report = self.engine.recover(
+                    on_outcomes=self.plugin.recovery_outcomes)
+                self.shredder.finish_pending()
+            else:
+                report = self.engine.recover()
         self._was_clean = True
+        self._c_recoveries.inc()
         return report
+
+    def metrics(self) -> Dict[str, Any]:
+        """Snapshot of every metric and span count across all layers.
+
+        The counters are process-lifetime: a simulated :meth:`crash`
+        does not reset them (the *process* survived), so the report also
+        covers recovery work.  The shape is the JSON exporter's —
+        ``{"counters", "gauges", "histograms", "spans",
+        "spans_dropped"}``.
+        """
+        return metrics_report(self.obs.registry, self.obs.tracer)
 
     def close(self) -> None:
         """Clean shutdown: final checkpoint, then drain the compliance

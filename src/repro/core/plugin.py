@@ -45,12 +45,15 @@ page O(1) instead of O(tuples).
 from __future__ import annotations
 
 import struct
+import warnings
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..common.config import ComplianceMode
 from ..common.errors import PageFormatError
 from ..btree.events import SplitEvent, TimeSplitEvent
 from ..crypto import SeqHash, h
+from ..obs import (Counter, MetricsRegistry, Observability,
+                   PluginStatsView)
 from ..storage.page import INTERNAL, LEAF, PAGE_MAGIC, Page
 from ..storage.record import TupleVersion
 from ..temporal.engine import Engine
@@ -106,25 +109,23 @@ def decode_index_content(raw: bytes) -> Tuple[List[int],
     return children, seps
 
 
-class PluginStats:
-    """Bookkeeping the space/overhead benchmarks read."""
+class PluginStats(PluginStatsView):
+    """Deprecated alias for the registry-backed stats view.
+
+    ``CompliancePlugin.stats`` is now a :class:`~repro.obs.views.
+    PluginStatsView` over the plugin's metrics registry.  Constructing
+    a standalone ``PluginStats`` (the PR 1 counter bag) is deprecated;
+    the instance wraps a private registry so the legacy attribute
+    surface keeps working.
+    """
 
     def __init__(self) -> None:
-        self.records: Dict[str, int] = {}
-        self.extra_disk_reads = 0
-        self.witness_files = 0
-        #: records appended to the group-commit buffer
-        self.buffered_appends = 0
-        #: barriers that actually flushed buffered records to WORM
-        self.barrier_flushes = 0
-        #: READ_HASH digests served from / missed in the page cache
-        self.hash_cache_hits = 0
-        self.hash_cache_misses = 0
-        #: pwrite diffs skipped or shortcut by the cached page state
-        self.diff_cache_hits = 0
-
-    def bump(self, rtype: CLogType) -> None:
-        self.records[rtype.name] = self.records.get(rtype.name, 0) + 1
+        warnings.warn(
+            "PluginStats is deprecated; read CompliancePlugin.stats "
+            "(a view over the repro.obs metrics registry) or "
+            "CompliantDB.metrics() instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(MetricsRegistry())
 
 
 class _PageCache:
@@ -156,13 +157,44 @@ class CompliancePlugin:
 
     def __init__(self, engine: Engine, clog: ComplianceLog,
                  mode: ComplianceMode, regret_interval: int,
-                 witness_retention: Optional[int] = None):
+                 witness_retention: Optional[int] = None,
+                 obs: Optional[Observability] = None):
         self.engine = engine
         self.clog = clog
         self.mode = mode
         self.regret_interval = regret_interval
         self._witness_retention = witness_retention
-        self.stats = PluginStats()
+        #: defaults to the engine's bundle so plugin metrics land in the
+        #: same registry as the storage layer's
+        self.obs = obs if obs is not None else engine.obs
+        registry = self.obs.registry
+        self.stats = PluginStatsView(registry)
+        self._c_buffered = registry.counter(
+            "clog_buffered_appends_total",
+            help="records appended to the group-commit buffer")
+        self._c_barrier_flushes = registry.counter(
+            "clog_barrier_flushes_total",
+            help="barriers that actually flushed records to WORM")
+        self._c_extra_reads = registry.counter(
+            "plugin_extra_disk_reads_total",
+            help="old-page disk reads the pread cache missed")
+        self._c_witness = registry.counter(
+            "plugin_witness_files_total",
+            help="empty WORM witness files created")
+        self._c_hash_hits = registry.counter(
+            "plugin_hash_cache_hits_total",
+            help="READ_HASH digests served from the page cache")
+        self._c_hash_misses = registry.counter(
+            "plugin_hash_cache_misses_total",
+            help="READ_HASH digests recomputed on cache miss")
+        self._c_diff_hits = registry.counter(
+            "plugin_diff_cache_hits_total",
+            help="pwrite diffs skipped via the cached page state")
+        self._c_maintenance = registry.counter(
+            "maintenance_runs_total",
+            help="regret-interval maintenance rounds that ran")
+        #: per-record-type children of clog_records_total, bound lazily
+        self._record_counters: Dict[CLogType, Counter] = {}
         #: pgno -> tuple versions — the page state L currently implies.
         #: Stored raw and normalised lazily at diff time, because lazy
         #: timestamping changes a tuple's normalised identity after commit.
@@ -213,7 +245,7 @@ class CompliancePlugin:
         back, regret-interval maintenance, and recovery.
         """
         if self.clog.barrier():
-            self.stats.barrier_flushes += 1
+            self._c_barrier_flushes.inc()
         self._pending_pages.clear()
 
     def _page_barrier(self, pgno: int) -> None:
@@ -265,7 +297,7 @@ class CompliancePlugin:
                     cache.read_raw == raw and pgno in self._logged and \
                     not self._stale(cache.read_unresolved):
                 digest = cache.read_digest
-                self.stats.hash_cache_hits += 1
+                self._c_hash_hits.inc()
             else:
                 entries = self._parse_leaf(raw)
                 if entries is None:
@@ -279,7 +311,7 @@ class CompliancePlugin:
                 cache.read_raw = raw
                 cache.read_digest = digest
                 cache.read_unresolved = unresolved
-                self.stats.hash_cache_misses += 1
+                self._c_hash_misses.inc()
             self._append(CLogRecord(
                 CLogType.READ_HASH, pgno=pgno, page_hash=digest,
                 timestamp=self.engine.clock.now()))
@@ -288,7 +320,7 @@ class CompliancePlugin:
             if cache is not None and cache.read_digest is not None and \
                     cache.read_raw == raw:
                 digest = cache.read_digest
-                self.stats.hash_cache_hits += 1
+                self._c_hash_hits.inc()
             else:
                 try:
                     page = Page.from_bytes(raw)
@@ -301,7 +333,7 @@ class CompliancePlugin:
                 cache.read_raw = raw
                 cache.read_digest = digest
                 cache.read_unresolved = frozenset()
-                self.stats.hash_cache_misses += 1
+                self._c_hash_misses.inc()
             self._append(CLogRecord(
                 CLogType.READ_HASH, pgno=pgno, is_index=True,
                 page_hash=digest, timestamp=self.engine.clock.now()))
@@ -333,7 +365,7 @@ class CompliancePlugin:
             # byte-identical to the image of the last diff: the diff is
             # empty by construction, whatever the commit map learned
             # since (normalisation shifts both sides identically)
-            self.stats.diff_cache_hits += 1
+            self._c_diff_hits.inc()
             return
         if _page_type(raw) != LEAF:
             return
@@ -363,7 +395,7 @@ class CompliancePlugin:
         elif cache is not None and cache.norm_map is not None and \
                 not self._stale(cache.unresolved):
             old = cache.norm_map
-            self.stats.diff_cache_hits += 1
+            self._c_diff_hits.inc()
         else:
             old = {self._norm_id(t): t for t in stored}
         new: Dict[NormId, TupleVersion] = {}
@@ -401,7 +433,7 @@ class CompliancePlugin:
     def _disk_state(self, pgno: int) -> List[TupleVersion]:
         """Fetch the old on-disk page — the extra I/O the pread cache
         usually avoids."""
-        self.stats.extra_disk_reads += 1
+        self._c_extra_reads.inc()
         try:
             page = Page.from_bytes(self.engine.pager.read_raw(pgno))
         except PageFormatError:
@@ -522,22 +554,25 @@ class CompliancePlugin:
         if not force and now - self._last_witness_time < \
                 self.regret_interval:
             return False
-        self.engine.run_stamper()  # lazy timestamps ride the checkpoint
-        self.engine.wal.flush()
-        self.engine.buffer.flush_all()
-        self._witness_seq += 1
-        self.clog.worm.create_file(self.witness_name(self._witness_seq),
-                                   retention=self._witness_retention)
-        self.stats.witness_files += 1
-        self._last_witness_time = now
-        if now - self._last_stamp_time >= self.regret_interval:
-            self._append(CLogRecord(CLogType.STAMP_TRANS, txn_id=0,
-                                    commit_time=now, heartbeat=True,
-                                    timestamp=now))
-            self._last_stamp_time = now
-        # regret-interval barrier: nothing buffered may outlive the
-        # interval that promised its durability
-        self.barrier()
+        with self.obs.tracer.span("plugin.maintenance"):
+            self.engine.run_stamper()  # lazy stamps ride the checkpoint
+            self.engine.wal.flush()
+            self.engine.buffer.flush_all()
+            self._witness_seq += 1
+            self.clog.worm.create_file(
+                self.witness_name(self._witness_seq),
+                retention=self._witness_retention)
+            self._c_witness.inc()
+            self._last_witness_time = now
+            if now - self._last_stamp_time >= self.regret_interval:
+                self._append(CLogRecord(CLogType.STAMP_TRANS, txn_id=0,
+                                        commit_time=now, heartbeat=True,
+                                        timestamp=now))
+                self._last_stamp_time = now
+            # regret-interval barrier: nothing buffered may outlive the
+            # interval that promised its durability
+            self.barrier()
+        self._c_maintenance.inc()
         return True
 
     def witness_name(self, seq: int) -> str:
@@ -573,15 +608,16 @@ class CompliancePlugin:
         PAGE_RESET for every data/index page so the auditor's replay
         re-bases at the crash boundary.
         """
-        self.load_epoch_state()
-        self._append(CLogRecord(CLogType.START_RECOVERY,
-                                timestamp=self.engine.clock.now()))
-        if self.hash_on_read:
-            self._emit_page_resets()
-        else:
-            self._rebase_from_disk()
-        # recovery records must be on WORM before redo writes any page
-        self.barrier()
+        with self.obs.tracer.span("plugin.begin_recovery"):
+            self.load_epoch_state()
+            self._append(CLogRecord(CLogType.START_RECOVERY,
+                                    timestamp=self.engine.clock.now()))
+            if self.hash_on_read:
+                self._emit_page_resets()
+            else:
+                self._rebase_from_disk()
+            # recovery records must be on WORM before redo writes a page
+            self.barrier()
 
     def _rebase_from_disk(self) -> None:
         for pgno in range(1, self.engine.pager.page_count):
@@ -658,9 +694,16 @@ class CompliancePlugin:
 
     def _append(self, record: CLogRecord) -> None:
         self.clog.append(record)
-        self.stats.bump(record.rtype)
-        self.stats.buffered_appends += 1
         rtype = record.rtype
+        counter = self._record_counters.get(rtype)
+        if counter is None:
+            counter = self.obs.registry.counter(
+                "clog_records_total",
+                help="compliance-log records appended, by type",
+                type=rtype.name)
+            self._record_counters[rtype] = counter
+        counter.inc()
+        self._c_buffered.inc()
         if rtype in _PAGE_RECORD_TYPES:
             if record.pgno >= 0:
                 self._pending_pages.add(record.pgno)

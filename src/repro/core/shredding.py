@@ -63,6 +63,18 @@ class Shredder:
 
     def __init__(self, db):
         self._db = db
+        registry = db.obs.registry
+        self._c_runs = registry.counter(
+            "vacuum_runs_total", help="vacuum (shredding) runs")
+        self._c_live = registry.counter(
+            "shredded_versions_total",
+            help="tuple versions physically erased", where="live")
+        self._c_worm = registry.counter(
+            "shredded_versions_total",
+            help="tuple versions physically erased", where="worm")
+        self._c_remigrated = registry.counter(
+            "worm_pages_remigrated_total",
+            help="WORM historical pages rewritten minus expired tuples")
 
     # -- retention policy --------------------------------------------------------
 
@@ -91,22 +103,29 @@ class Shredder:
         """Shred every expired version, live and on WORM."""
         engine = self._db.engine
         now = now if now is not None else engine.clock.now()
-        engine.run_stamper()  # only stamped versions can be judged expired
         report = VacuumReport()
-        from .holds import HOLDS_RELATION
-        for name in engine.relation_names():
-            if name in (EXPIRY_RELATION, HOLDS_RELATION):
-                continue
-            retention = self.retention_of(name)
-            if retention is None:
-                continue
-            live, (worm_count, pages) = self._vacuum_relation(
-                name, retention, now)
-            if live or worm_count:
-                report.relations.append(name)
-            report.shredded_live += live
-            report.shredded_worm += worm_count
-            report.pages_remigrated += pages
+        with self._db.obs.tracer.span("vacuum") as span:
+            engine.run_stamper()  # only stamped versions can be judged
+            from .holds import HOLDS_RELATION
+            for name in engine.relation_names():
+                if name in (EXPIRY_RELATION, HOLDS_RELATION):
+                    continue
+                retention = self.retention_of(name)
+                if retention is None:
+                    continue
+                live, (worm_count, pages) = self._vacuum_relation(
+                    name, retention, now)
+                if live or worm_count:
+                    report.relations.append(name)
+                report.shredded_live += live
+                report.shredded_worm += worm_count
+                report.pages_remigrated += pages
+            span.set(live=report.shredded_live,
+                     worm=report.shredded_worm)
+        self._c_runs.inc()
+        self._c_live.inc(report.shredded_live)
+        self._c_worm.inc(report.shredded_worm)
+        self._c_remigrated.inc(report.pages_remigrated)
         return report
 
     def _vacuum_relation(self, name: str, retention: int, now: int):

@@ -1,0 +1,49 @@
+"""``repro.obs`` — unified observability: metrics, tracing, exporters.
+
+One registry + one tracer per database (injectable; see
+:class:`Observability`).  Counters/gauges/histograms live in
+:mod:`~repro.obs.registry`; deterministic SimulatedClock-driven spans in
+:mod:`~repro.obs.tracing`; Prometheus/JSON exporters in
+:mod:`~repro.obs.export`; legacy ``*Stats`` surfaces as registry views
+in :mod:`~repro.obs.views`.  See DESIGN.md §8.
+"""
+
+from .export import metrics_report, prometheus_text
+from .observability import Observability, global_obs
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .tracing import NullTracer, Span, Tracer
+from .views import (
+    BufferStatsView,
+    PagerStatsView,
+    PluginStatsView,
+    WormStatsView,
+)
+
+__all__ = [
+    "BufferStatsView",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "Observability",
+    "PagerStatsView",
+    "PluginStatsView",
+    "Span",
+    "Tracer",
+    "WormStatsView",
+    "global_obs",
+    "metrics_report",
+    "prometheus_text",
+]

@@ -1,0 +1,221 @@
+"""Legacy stats surfaces re-implemented as views over the registry.
+
+PR 1 grew ad-hoc counter bags (``WormStats``, ``PluginStats``,
+``PagerStats``, ``BufferStats``).  The observability redesign keeps
+every attribute those classes exposed — benchmarks and tests read
+``worm.stats.flushes``, ``plugin.stats.records`` etc. — but the values
+now come straight from the shared :class:`MetricsRegistry`, so
+``CompliantDB.metrics()``, the Prometheus exporter, and the legacy
+attributes can never disagree.
+
+The classes here are the *views* (constructed by the components that
+own the counters).  The deprecated constructible aliases named after
+the old classes live next to their components
+(``repro.worm.server.WormStats``, ``repro.core.plugin.PluginStats``)
+and emit :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol, Sequence
+
+from .registry import Counter, MetricsRegistry, Number
+
+
+class NamedType(Protocol):
+    """Anything with a ``name`` — e.g. a ``CLogType`` enum member."""
+
+    @property
+    def name(self) -> str: ...
+
+
+class _CounterView:
+    """Base: bind counters once, expose values, support reset()."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        self._bound: Dict[str, Counter] = {}
+
+    def _bind(self, attr: str, metric: str, help_text: str = "") -> None:
+        self._bound[attr] = self._registry.counter(metric, help=help_text)
+
+    def _value(self, attr: str) -> Number:
+        return self._bound[attr].value
+
+    def _reset(self, attrs: Sequence[str]) -> None:
+        for attr in attrs:
+            self._bound[attr].reset()
+
+
+class WormStatsView(_CounterView):
+    """Round-trip counters for the WORM append path (view)."""
+
+    _ATTRS = ("appends", "buffered_appends", "flushes", "fsyncs",
+              "bytes_written")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        super().__init__(registry)
+        self._bind("appends", "worm_appends_total",
+                   "append() calls that carried data")
+        self._bind("buffered_appends", "worm_buffered_appends_total",
+                   "appends that only landed in the in-memory buffer")
+        self._bind("flushes", "worm_flushes_total",
+                   "physical write+flush round-trips to the volume")
+        self._bind("fsyncs", "worm_fsyncs_total",
+                   "fsync() system calls issued")
+        self._bind("bytes_written", "worm_bytes_written_total",
+                   "bytes physically written to the WORM volume")
+
+    @property
+    def appends(self) -> Number:
+        return self._value("appends")
+
+    @property
+    def buffered_appends(self) -> Number:
+        return self._value("buffered_appends")
+
+    @property
+    def flushes(self) -> Number:
+        return self._value("flushes")
+
+    @property
+    def fsyncs(self) -> Number:
+        return self._value("fsyncs")
+
+    @property
+    def bytes_written(self) -> Number:
+        return self._value("bytes_written")
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._reset(self._ATTRS)
+
+
+class PluginStatsView(_CounterView):
+    """Compliance-plugin bookkeeping (view)."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        super().__init__(registry)
+        self._bind("extra_disk_reads", "plugin_extra_disk_reads_total",
+                   "old-page disk reads the pread cache missed")
+        self._bind("witness_files", "plugin_witness_files_total",
+                   "empty WORM witness files created")
+        self._bind("buffered_appends", "clog_buffered_appends_total",
+                   "records appended to the group-commit buffer")
+        self._bind("barrier_flushes", "clog_barrier_flushes_total",
+                   "barriers that actually flushed records to WORM")
+        self._bind("hash_cache_hits", "plugin_hash_cache_hits_total",
+                   "READ_HASH digests served from the page cache")
+        self._bind("hash_cache_misses", "plugin_hash_cache_misses_total",
+                   "READ_HASH digests recomputed on cache miss")
+        self._bind("diff_cache_hits", "plugin_diff_cache_hits_total",
+                   "pwrite diffs skipped via the cached page state")
+
+    @property
+    def records(self) -> Dict[str, Number]:
+        """Record tallies by ``CLogType`` name (legacy dict shape)."""
+        return self._registry.labelled_values("clog_records_total", "type")
+
+    def bump(self, rtype: NamedType) -> None:
+        """Count one compliance-log record of the given type."""
+        self._registry.counter(
+            "clog_records_total",
+            help="compliance-log records appended, by type",
+            type=rtype.name,
+        ).inc()
+
+    @property
+    def extra_disk_reads(self) -> Number:
+        return self._value("extra_disk_reads")
+
+    @property
+    def witness_files(self) -> Number:
+        return self._value("witness_files")
+
+    @property
+    def buffered_appends(self) -> Number:
+        return self._value("buffered_appends")
+
+    @property
+    def barrier_flushes(self) -> Number:
+        return self._value("barrier_flushes")
+
+    @property
+    def hash_cache_hits(self) -> Number:
+        return self._value("hash_cache_hits")
+
+    @property
+    def hash_cache_misses(self) -> Number:
+        return self._value("hash_cache_misses")
+
+    @property
+    def diff_cache_hits(self) -> Number:
+        return self._value("diff_cache_hits")
+
+
+class PagerStatsView(_CounterView):
+    """Pager I/O counters (view)."""
+
+    _ATTRS = ("reads", "writes")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        super().__init__(registry)
+        self._bind("reads", "pager_reads_total",
+                   "raw page reads from the data file")
+        self._bind("writes", "pager_writes_total",
+                   "hooked page writes to the data file")
+
+    @property
+    def reads(self) -> Number:
+        return self._value("reads")
+
+    @property
+    def writes(self) -> Number:
+        return self._value("writes")
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._reset(self._ATTRS)
+
+
+class BufferStatsView(_CounterView):
+    """Buffer-cache counters (view)."""
+
+    _ATTRS = ("hits", "misses", "flushes", "evictions")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        super().__init__(registry)
+        self._bind("hits", "buffer_hits_total",
+                   "page requests served from memory")
+        self._bind("misses", "buffer_misses_total",
+                   "page requests that read from disk")
+        self._bind("flushes", "buffer_flushes_total",
+                   "dirty pages written back")
+        self._bind("evictions", "buffer_evictions_total",
+                   "pages evicted from the cache")
+
+    @property
+    def hits(self) -> Number:
+        return self._value("hits")
+
+    @property
+    def misses(self) -> Number:
+        return self._value("misses")
+
+    @property
+    def flushes(self) -> Number:
+        return self._value("flushes")
+
+    @property
+    def evictions(self) -> Number:
+        return self._value("evictions")
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of page requests served from memory."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._reset(self._ATTRS)

@@ -21,44 +21,62 @@ Two behaviours matter to the paper's protocol:
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from ..common.errors import BufferError_, PageNotFoundError
+from ..obs import BufferStatsView, MetricsRegistry, Observability
 from .page import FREE, Page
 from .pager import Pager
 
 BeforeFlushHook = Callable[[Page], None]
 
+#: bucket bounds for pages-per-flush-batch (group-commit batch sizes)
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
-class BufferStats:
-    """Cache counters used by the benchmarks (hit ratio drives Fig. 3)."""
 
-    __slots__ = ("hits", "misses", "flushes", "evictions")
+class BufferStats(BufferStatsView):
+    """Deprecated alias for the registry-backed stats view.
+
+    ``BufferCache.stats`` is now a :class:`~repro.obs.views.
+    BufferStatsView` over the cache's metrics registry; constructing a
+    standalone ``BufferStats`` wraps a private registry.
+    """
 
     def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.flushes = 0
-        self.evictions = 0
-
-    @property
-    def hit_ratio(self) -> float:
-        """Fraction of page requests served from memory."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def reset(self) -> None:
-        """Zero all counters."""
-        self.hits = self.misses = self.flushes = self.evictions = 0
+        warnings.warn(
+            "BufferStats is deprecated; read BufferCache.stats (a view "
+            "over the repro.obs metrics registry) instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(MetricsRegistry())
 
 
 class BufferCache:
     """LRU cache of parsed pages over a :class:`Pager`."""
 
-    def __init__(self, pager: Pager, capacity_pages: int):
+    def __init__(self, pager: Pager, capacity_pages: int,
+                 obs: Optional[Observability] = None):
         self._pager = pager
         self._capacity = capacity_pages
+        #: defaults to the pager's bundle so a standalone cache+pager
+        #: pair shares one registry
+        self.obs = obs if obs is not None else pager.obs
+        registry = self.obs.registry
+        self._c_hits = registry.counter(
+            "buffer_hits_total",
+            help="page requests served from memory")
+        self._c_misses = registry.counter(
+            "buffer_misses_total",
+            help="page requests that read from disk")
+        self._c_flushes = registry.counter(
+            "buffer_flushes_total", help="dirty pages written back")
+        self._c_evictions = registry.counter(
+            "buffer_evictions_total",
+            help="pages evicted from the cache")
+        self._h_batch = registry.histogram(
+            "buffer_flush_batch_pages", buckets=_BATCH_BUCKETS,
+            help="pages per atomic write-back batch")
         #: low watermark for stealing: once a sweep has to flush dirty
         #: pages, it reclaims this far below capacity so one group-commit
         #: barrier covers a batch of write-backs instead of paying one
@@ -73,7 +91,7 @@ class BufferCache:
         #: invoked with a page right before it is serialised to disk;
         #: the engine flushes the WAL up to page.lsn here
         self.before_flush: Optional[BeforeFlushHook] = None
-        self.stats = BufferStats()
+        self.stats = BufferStatsView(registry)
 
     # -- access ------------------------------------------------------------------
 
@@ -82,14 +100,14 @@ class BufferCache:
         page = self._pages.get(pgno)
         if page is not None:
             self._pages.move_to_end(pgno)
-            self.stats.hits += 1
+            self._c_hits.inc()
             return page
         raw = self._pager.read_page(pgno)  # pread (hooks fire)
         page = Page.from_bytes(raw)
         if page.pgno != pgno:
             raise PageNotFoundError(
                 f"page {pgno} on disk claims pgno {page.pgno}")
-        self.stats.misses += 1
+        self._c_misses.inc()
         # make room first: the page being added must not be the eviction
         # victim before the caller has had a chance to pin it
         self._evict_as_needed()
@@ -173,20 +191,25 @@ class BufferCache:
         single WORM round-trip — strictly before any batched page
         reaches the disk file.
         """
-        batch = []
-        for member in pgnos:
-            page = self._pages.get(member)
-            if page is None or not page.dirty:
-                continue
-            if self.before_flush is not None:
-                self.before_flush(page)
-            raw = page.to_bytes(self._pager.page_size)
-            self._pager.emit_write_hooks(member, raw)
-            batch.append((member, page, raw))
-        for member, page, raw in batch:
-            self._pager.write_page(member, raw, hooks_done=True)
-            page.dirty = False
-            self.stats.flushes += 1
+        dirty = [(member, page) for member in pgnos
+                 if (page := self._pages.get(member)) is not None
+                 and page.dirty]
+        if not dirty:
+            return
+        with self.obs.tracer.span("buffer.flush_batch",
+                                  pages=len(dirty)):
+            batch = []
+            for member, page in dirty:
+                if self.before_flush is not None:
+                    self.before_flush(page)
+                raw = page.to_bytes(self._pager.page_size)
+                self._pager.emit_write_hooks(member, raw)
+                batch.append((member, page, raw))
+            for member, page, raw in batch:
+                self._pager.write_page(member, raw, hooks_done=True)
+                page.dirty = False
+                self._c_flushes.inc()
+        self._h_batch.observe(len(dirty))
 
     def flush_page(self, pgno: int) -> None:
         """Flush one page (and its whole atomic group) to disk."""
@@ -248,7 +271,7 @@ class BufferCache:
             if page.dirty or self._pins.get(pgno):
                 continue
             del self._pages[pgno]
-            self.stats.evictions += 1
+            self._c_evictions.inc()
         # pass 2: steal — pick LRU dirty unpinned victims sufficient to
         # restore capacity, flush them as ONE group-commit batch, then
         # evict.  A page whose atomic group contains a pinned member is
@@ -275,7 +298,7 @@ class BufferCache:
             page = self._pages.get(pgno)
             if page is not None and not page.dirty:
                 del self._pages[pgno]
-                self.stats.evictions += 1
+                self._c_evictions.inc()
         # every remaining page pinned: allow temporary overflow rather than
         # failing the operation mid-flight
         if len(self._pages) > self._capacity * 4:

@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from pathlib import Path
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from ..common.errors import PageNotFoundError, StorageError
+from ..obs import MetricsRegistry, Observability, PagerStatsView
 from .page import META, Page
 
 PreadHook = Callable[[int, bytes], None]
@@ -49,29 +51,38 @@ def _spin(delay: float) -> None:
         pass
 
 
-class PagerStats:
-    """I/O counters used by the benchmarks."""
+class PagerStats(PagerStatsView):
+    """Deprecated alias for the registry-backed stats view.
 
-    __slots__ = ("reads", "writes")
+    ``Pager.stats`` is now a :class:`~repro.obs.views.PagerStatsView`
+    over the pager's metrics registry; constructing a standalone
+    ``PagerStats`` wraps a private registry.
+    """
 
     def __init__(self) -> None:
-        self.reads = 0
-        self.writes = 0
-
-    def reset(self) -> None:
-        """Zero all counters."""
-        self.reads = 0
-        self.writes = 0
+        warnings.warn(
+            "PagerStats is deprecated; read Pager.stats (a view over "
+            "the repro.obs metrics registry) instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(MetricsRegistry())
 
 
 class Pager:
     """Fixed-size-page file storage for one database."""
 
     def __init__(self, path: os.PathLike, page_size: int,
-                 sync_writes: bool = False, io_delay: float = 0.0):
+                 sync_writes: bool = False, io_delay: float = 0.0,
+                 obs: Optional[Observability] = None):
         self.path = Path(path)
         self.page_size = page_size
         self._sync = sync_writes
+        self.obs = obs if obs is not None else Observability()
+        self._c_reads = self.obs.registry.counter(
+            "pager_reads_total",
+            help="raw page reads from the data file")
+        self._c_writes = self.obs.registry.counter(
+            "pager_writes_total",
+            help="hooked page writes to the data file")
         #: simulated per-I/O latency (seconds).  The paper's evaluation ran
         #: against an NFS filer where one page I/O costs orders of
         #: magnitude more than hashing a page; a pure-Python engine loses
@@ -81,7 +92,7 @@ class Pager:
         self.pread_hooks: List[PreadHook] = []
         self.pwrite_hooks: List[PwriteHook] = []
         self.pwrite_barriers: List[PwriteBarrier] = []
-        self.stats = PagerStats()
+        self.stats = PagerStatsView(self.obs.registry)
         existing = self.path.exists() and self.path.stat().st_size > 0
         self._file = open(self.path, "r+b" if existing else "w+b")
         if existing:
@@ -158,7 +169,7 @@ class Pager:
         self._file.flush()
         if self._sync:
             os.fsync(self._file.fileno())
-        self.stats.writes += 1
+        self._c_writes.inc()
 
     # -- raw I/O (plugin, auditor, adversary) -------------------------------------
 
@@ -171,7 +182,7 @@ class Pager:
         raw = self._file.read(self.page_size)
         if len(raw) != self.page_size:
             raise PageNotFoundError(f"short read of page {pgno}")
-        self.stats.reads += 1
+        self._c_reads.inc()
         return raw
 
     def write_raw(self, pgno: int, raw: bytes) -> None:

@@ -44,6 +44,7 @@ from ..common.errors import (ConfigError, DuplicateKeyError,
                              KeyNotFoundError, RelationNotFoundError,
                              TransactionAborted, TransactionError,
                              TransactionStateError)
+from ..obs import Observability
 from ..storage.buffer import BufferCache
 from ..storage.page import FREE, LEAF
 from ..storage.pager import Pager
@@ -92,6 +93,7 @@ class Engine:
                  assign_seq: bool = False, worm_migration: bool = False,
                  split_threshold: float = 0.5,
                  worm_retention: Optional[int] = None,
+                 obs: Optional[Observability] = None,
                  _create: bool = False):
         self.data_dir = Path(data_dir)
         self.clock = clock
@@ -105,15 +107,34 @@ class Engine:
         if worm_migration and worm is None:
             raise ConfigError("WORM migration requires a WORM server")
 
+        self.obs = obs if obs is not None else Observability()
+        registry = self.obs.registry
+        self._c_checkpoints = registry.counter(
+            "engine_checkpoints_total",
+            help="checkpoints (WAL flush + full dirty-page write-back)")
+        self._c_stamps = registry.counter(
+            "engine_stamps_applied_total",
+            help="lazy commit-time stamps applied to tuples")
+        self._c_splits_leaf = registry.counter(
+            "btree_splits_total", help="B+-tree page splits", kind="leaf")
+        self._c_splits_index = registry.counter(
+            "btree_splits_total", help="B+-tree page splits",
+            kind="index")
+        self._c_time_splits = registry.counter(
+            "btree_time_splits_total",
+            help="time splits migrating history to WORM pages")
+
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.pager = Pager(self.data_dir / "data.db", self.config.page_size,
                            sync_writes=self.config.sync_writes,
-                           io_delay=self.config.io_delay_seconds)
-        self.buffer = BufferCache(self.pager, self.config.buffer_pages)
+                           io_delay=self.config.io_delay_seconds,
+                           obs=self.obs)
+        self.buffer = BufferCache(self.pager, self.config.buffer_pages,
+                                  obs=self.obs)
         self.wal = TransactionLog(self.data_dir / "wal.log",
                                   sync_writes=self.config.sync_writes)
         self.buffer.before_flush = lambda page: self.wal.flush()
-        self.txns = TransactionManager(clock, self.wal)
+        self.txns = TransactionManager(clock, self.wal, obs=self.obs)
         self.txns.undo_callback = self._undo_transaction
         self.txns.on_commit.append(self._after_commit)
         self.histdir = HistoricalDirectory(self.data_dir / "histdir.json")
@@ -121,6 +142,7 @@ class Engine:
         #: shared by every tree, so a listener registered once sees all
         #: splits of all relations
         self._split_listeners: List[Callable[[SplitEvent], None]] = []
+        self._split_listeners.append(self._count_split)
         self.migration_listeners: List[MigrationListener] = []
 
         self._relations: Dict[str, RelationInfo] = {}
@@ -197,6 +219,14 @@ class Engine:
                            listener: Callable[[SplitEvent], None]) -> None:
         """Subscribe to page splits of every relation (incl. the catalog)."""
         self._split_listeners.append(listener)
+
+    def _count_split(self, event: SplitEvent) -> None:
+        """Built-in listener: every split becomes a metric + trace event."""
+        counter = self._c_splits_index if event.is_index \
+            else self._c_splits_leaf
+        counter.inc()
+        self.obs.tracer.event("btree.split", pgno=event.old_pgno,
+                              index=event.is_index)
 
     def _make_tree(self, info: RelationInfo):
         if info.use_tsb:
@@ -304,6 +334,7 @@ class Engine:
             except KeyNotFoundError:
                 # already stamped (recovery re-stamp) or vacuumed
                 pass
+        self._c_stamps.inc(done)
         return done
 
     # -- DDL ---------------------------------------------------------------------------
@@ -620,18 +651,22 @@ class Engine:
         compliance plugin's MIGRATE record) fire.  Recovery re-applies any
         TIME_SPLIT whose live-leaf trim never reached disk.
         """
-        ref = self.histdir.next_ref(event.relation_id)
-        event.hist_ref = ref
-        self.worm.create_file(ref, encode_hist_page(event.hist_entries),
-                              retention=self.worm_retention)
-        self.wal.append(WalRecord(
-            WalRecordType.TIME_SPLIT, relation_id=event.relation_id,
-            pgno=event.leaf_pgno, hist_ref=ref,
-            split_time=event.split_time))
-        self.wal.flush()
-        self.histdir.add(self._hist_entry(event, ref))
-        for listener in self.migration_listeners:
-            listener(event)
+        with self.obs.tracer.span("btree.time_split",
+                                  relation=event.relation_id,
+                                  pgno=event.leaf_pgno):
+            ref = self.histdir.next_ref(event.relation_id)
+            event.hist_ref = ref
+            self.worm.create_file(ref, encode_hist_page(event.hist_entries),
+                                  retention=self.worm_retention)
+            self.wal.append(WalRecord(
+                WalRecordType.TIME_SPLIT, relation_id=event.relation_id,
+                pgno=event.leaf_pgno, hist_ref=ref,
+                split_time=event.split_time))
+            self.wal.flush()
+            self.histdir.add(self._hist_entry(event, ref))
+            for listener in self.migration_listeners:
+                listener(event)
+        self._c_time_splits.inc()
         return ref
 
     @staticmethod
@@ -650,10 +685,13 @@ class Engine:
 
         Returns the number of pages flushed.
         """
-        self.wal.flush()
-        flushed = self.buffer.flush_all()
-        self.wal.append(WalRecord(WalRecordType.CHECKPOINT))
-        self.wal.flush()
+        with self.obs.tracer.span("engine.checkpoint") as span:
+            self.wal.flush()
+            flushed = self.buffer.flush_all()
+            self.wal.append(WalRecord(WalRecordType.CHECKPOINT))
+            self.wal.flush()
+            span.set(pages=flushed)
+        self._c_checkpoints.inc()
         return flushed
 
     def quiesce(self) -> None:
@@ -684,6 +722,11 @@ class Engine:
 
         Idempotent — running it on a cleanly shut-down database is a no-op.
         """
+        with self.obs.tracer.span("engine.recover"):
+            return self._recover(on_outcomes)
+
+    def _recover(self, on_outcomes: Optional[Callable] = None
+                 ) -> RecoveryReport:
         plan = analyse(self.wal.iter_records())
         report = RecoveryReport(committed=dict(plan.committed),
                                 aborted=set(plan.aborted),

@@ -8,6 +8,7 @@ Usage::
     python -m repro.tools.admin vacuum    <db-path>
     python -m repro.tools.admin history   <db-path> <relation> <key…>
     python -m repro.tools.admin holds     <db-path>
+    python -m repro.tools.admin metrics   <db-path> [--json]
 
 The tool opens the database read-mostly (audit/vacuum mutate WORM/epoch
 state exactly as their API counterparts do), runs recovery if the previous
@@ -21,6 +22,7 @@ pass ``--auditor NAME`` when the database was created with a named key.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Any, List, Tuple
 
@@ -28,6 +30,7 @@ from ..common.clock import SimulatedClock
 from ..core import Auditor, CompliantDB
 from ..core.forensics import ForensicAnalyzer
 from ..crypto import AuditorKey
+from ..obs import prometheus_text
 
 
 def _parse_key(raw: List[str]) -> Tuple[Any, ...]:
@@ -126,6 +129,16 @@ def cmd_holds(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    db = _open(args.path, args.auditor)
+    if args.json:
+        print(json.dumps(db.metrics(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(prometheus_text(db.obs.registry))
+    db.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-admin",
@@ -141,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("vacuum", cmd_vacuum, None),
         ("history", cmd_history, "history"),
         ("holds", cmd_holds, None),
+        ("metrics", cmd_metrics, "metrics"),
     ]:
         cmd = sub.add_parser(name)
         cmd.add_argument("path", help="database directory")
@@ -152,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("relation")
             cmd.add_argument("key", nargs="+",
                              help="primary key component(s)")
+        elif extra == "metrics":
+            cmd.add_argument("--json", action="store_true",
+                             help="JSON snapshot instead of Prometheus "
+                                  "text")
     return parser
 
 

@@ -14,9 +14,10 @@ for tuple access and ``("relation", relation_id)`` for scans.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Hashable, Set, Tuple
+from typing import Dict, Hashable, Optional, Set, Tuple
 
 from ..common.errors import LockConflictError
+from ..obs import Observability
 
 
 class LockMode(enum.Enum):
@@ -29,7 +30,11 @@ class LockMode(enum.Enum):
 class LockTable:
     """Tracks which transactions hold which locks."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Observability] = None) -> None:
+        self.obs = obs if obs is not None else Observability()
+        self._c_conflicts = self.obs.registry.counter(
+            "txn_lock_conflicts_total",
+            help="lock requests denied (immediate-conflict 2PL)")
         #: resource -> (mode, holder txn ids)
         self._locks: Dict[Hashable, Tuple[LockMode, Set[int]]] = {}
         #: txn id -> resources it holds
@@ -53,6 +58,7 @@ class LockTable:
                 if holders == {txn_id}:
                     self._locks[resource] = (LockMode.EXCLUSIVE, holders)
                     return
+                self._c_conflicts.inc()
                 raise LockConflictError(
                     f"txn {txn_id} cannot upgrade {resource!r}: "
                     f"shared with {sorted(holders - {txn_id})}")
@@ -61,6 +67,7 @@ class LockTable:
             holders.add(txn_id)
             self._held.setdefault(txn_id, set()).add(resource)
             return
+        self._c_conflicts.inc()
         raise LockConflictError(
             f"txn {txn_id} denied {mode.value} on {resource!r}: held "
             f"{held_mode.value} by {sorted(holders)}")

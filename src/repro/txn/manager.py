@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..common.clock import SimulatedClock
 from ..common.errors import TransactionStateError
+from ..obs import Observability
 from ..wal import TransactionLog, WalRecord, WalRecordType
 from .locks import LockTable
 
@@ -71,10 +72,22 @@ class TransactionManager:
     """Begin/commit/abort orchestration over the WAL and lock table."""
 
     def __init__(self, clock: SimulatedClock, wal: TransactionLog,
-                 locks: Optional[LockTable] = None):
+                 locks: Optional[LockTable] = None,
+                 obs: Optional[Observability] = None):
         self._clock = clock
         self._wal = wal
-        self.locks = locks if locks is not None else LockTable()
+        self.obs = obs if obs is not None else Observability()
+        registry = self.obs.registry
+        self._c_begins = registry.counter(
+            "txn_begin_total", help="transactions started")
+        self._c_commits = registry.counter(
+            "txn_commit_total", help="transactions durably committed")
+        self._c_aborts = registry.counter(
+            "txn_abort_total", help="transactions rolled back")
+        self._g_active = registry.gauge(
+            "txn_active", help="in-flight transactions")
+        self.locks = locks if locks is not None else \
+            LockTable(obs=self.obs)
         self._active: Dict[int, Transaction] = {}
         #: txn id -> commit time for every commit this incarnation knows of
         self.commit_times: Dict[int, int] = {}
@@ -90,36 +103,46 @@ class TransactionManager:
         txn = Transaction(txn_id=self._clock.tick())
         self._active[txn.txn_id] = txn
         self._wal.append(WalRecord(WalRecordType.BEGIN, txn_id=txn.txn_id))
+        self._c_begins.inc()
+        self._g_active.set(len(self._active))
         return txn
 
     def commit(self, txn: Transaction) -> int:
         """Durably commit; returns the commit time."""
         txn.require_active()
-        commit_time = self._clock.tick()
-        self._wal.append(WalRecord(WalRecordType.COMMIT, txn_id=txn.txn_id,
-                                   commit_time=commit_time))
-        self._wal.flush()
-        txn.state = TxnState.COMMITTED
-        txn.commit_time = commit_time
-        self.commit_times[txn.txn_id] = commit_time
-        del self._active[txn.txn_id]
-        self.locks.release_all(txn.txn_id)
-        for listener in self.on_commit:
-            listener(txn, commit_time)
+        with self.obs.tracer.span("txn.commit", txn=txn.txn_id):
+            commit_time = self._clock.tick()
+            self._wal.append(WalRecord(WalRecordType.COMMIT,
+                                       txn_id=txn.txn_id,
+                                       commit_time=commit_time))
+            self._wal.flush()
+            txn.state = TxnState.COMMITTED
+            txn.commit_time = commit_time
+            self.commit_times[txn.txn_id] = commit_time
+            del self._active[txn.txn_id]
+            self.locks.release_all(txn.txn_id)
+            for listener in self.on_commit:
+                listener(txn, commit_time)
+        self._c_commits.inc()
+        self._g_active.set(len(self._active))
         return commit_time
 
     def abort(self, txn: Transaction) -> None:
         """Roll back: undo tree writes, log ABORT durably, release locks."""
         txn.require_active()
-        if self.undo_callback is not None:
-            self.undo_callback(txn)
-        self._wal.append(WalRecord(WalRecordType.ABORT, txn_id=txn.txn_id))
-        self._wal.flush()
-        txn.state = TxnState.ABORTED
-        del self._active[txn.txn_id]
-        self.locks.release_all(txn.txn_id)
-        for listener in self.on_abort:
-            listener(txn)
+        with self.obs.tracer.span("txn.abort", txn=txn.txn_id):
+            if self.undo_callback is not None:
+                self.undo_callback(txn)
+            self._wal.append(WalRecord(WalRecordType.ABORT,
+                                       txn_id=txn.txn_id))
+            self._wal.flush()
+            txn.state = TxnState.ABORTED
+            del self._active[txn.txn_id]
+            self.locks.release_all(txn.txn_id)
+            for listener in self.on_abort:
+                listener(txn)
+        self._c_aborts.inc()
+        self._g_active.set(len(self._active))
 
     # -- introspection -------------------------------------------------------------
 
@@ -142,4 +165,5 @@ class TransactionManager:
         """Forget all volatile transaction state (the crash primitive)."""
         self._active.clear()
         self.commit_times.clear()
-        self.locks = LockTable()
+        self._g_active.set(0)
+        self.locks = LockTable(obs=self.obs)

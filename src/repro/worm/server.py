@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Dict, List, Optional, TextIO
@@ -32,6 +33,8 @@ from typing import IO, Dict, List, Optional, TextIO
 from ..common.clock import SimulatedClock
 from ..common.errors import (WormError, WormFileExistsError,
                              WormFileNotFoundError, WormViolationError)
+from ..obs import (DEFAULT_SIZE_BUCKETS, MetricsRegistry, Observability,
+                   WormStatsView)
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9._\-]+(/[A-Za-z0-9._\-]+)*$")
 _META_JOURNAL = "__worm_meta__.jsonl"
@@ -49,30 +52,23 @@ class WormFileMeta:
     size: int
 
 
-class WormStats:
-    """Round-trip counters for the append path (group-commit metrics)."""
+class WormStats(WormStatsView):
+    """Deprecated alias for the registry-backed stats view.
 
-    __slots__ = ("appends", "buffered_appends", "flushes", "fsyncs",
-                 "bytes_written")
+    ``WormServer.stats`` is now a :class:`~repro.obs.views.
+    WormStatsView` over the server's metrics registry.  Constructing a
+    standalone ``WormStats`` (the PR 1 counter bag) is deprecated; the
+    instance wraps a private registry so the legacy attribute surface
+    keeps working.
+    """
 
     def __init__(self) -> None:
-        #: total append() calls that carried data
-        self.appends = 0
-        #: appends that only landed in the in-memory buffer
-        self.buffered_appends = 0
-        #: physical write+flush round-trips to the volume
-        self.flushes = 0
-        #: fsync() system calls issued (only when fsync=True)
-        self.fsyncs = 0
-        self.bytes_written = 0
-
-    def reset(self) -> None:
-        """Zero all counters."""
-        self.appends = 0
-        self.buffered_appends = 0
-        self.flushes = 0
-        self.fsyncs = 0
-        self.bytes_written = 0
+        warnings.warn(
+            "WormStats is deprecated; read WormServer.stats (a view "
+            "over the repro.obs metrics registry) or "
+            "CompliantDB.metrics() instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(MetricsRegistry())
 
 
 class WormServer:
@@ -92,7 +88,8 @@ class WormServer:
     """
 
     def __init__(self, root: "os.PathLike[str]", clock: SimulatedClock,
-                 default_retention: int, fsync: bool = False):
+                 default_retention: int, fsync: bool = False,
+                 obs: Optional[Observability] = None):
         if default_retention <= 0:
             raise WormError("default_retention must be positive")
         self._root = Path(root)
@@ -100,6 +97,25 @@ class WormServer:
         self._clock = clock
         self._default_retention = default_retention
         self._fsync = fsync
+        self.obs = obs if obs is not None else Observability()
+        registry = self.obs.registry
+        self._c_appends = registry.counter(
+            "worm_appends_total",
+            help="append() calls that carried data")
+        self._c_buffered = registry.counter(
+            "worm_buffered_appends_total",
+            help="appends that only landed in the in-memory buffer")
+        self._c_flushes = registry.counter(
+            "worm_flushes_total",
+            help="physical write+flush round-trips to the volume")
+        self._c_fsyncs = registry.counter(
+            "worm_fsyncs_total", help="fsync() system calls issued")
+        self._c_bytes = registry.counter(
+            "worm_bytes_written_total",
+            help="bytes physically written to the WORM volume")
+        self._h_flush_bytes = registry.histogram(
+            "worm_flush_bytes", buckets=DEFAULT_SIZE_BUCKETS,
+            help="bytes per physical WORM flush (group-commit batch)")
         self._files: Dict[str, WormFileMeta] = {}
         #: open handles for append-only files (hot path: the compliance
         #: log receives one append per record)
@@ -110,7 +126,7 @@ class WormServer:
         #: unsent network writes to a real WORM box would vanish.
         self._buffers: Dict[str, List[bytes]] = {}
         self._buffered_len: Dict[str, int] = {}
-        self.stats = WormStats()
+        self.stats = WormStatsView(registry)
         self._journal_path = self._root / _META_JOURNAL
         self._journal_handle: Optional[TextIO] = None
         self._replay_journal()
@@ -185,7 +201,7 @@ class WormServer:
         offset = meta.size
         if data:
             data = bytes(data)
-            self.stats.appends += 1
+            self._c_appends.inc()
             if durable:
                 # ordering: earlier buffered appends must land first
                 self.sync(name)
@@ -194,7 +210,7 @@ class WormServer:
                 self._buffers.setdefault(name, []).append(data)
                 self._buffered_len[name] = \
                     self._buffered_len.get(name, 0) + len(data)
-                self.stats.buffered_appends += 1
+                self._c_buffered.inc()
             meta.size += len(data)
         return offset
 
@@ -242,17 +258,20 @@ class WormServer:
         return dropped
 
     def _write_out(self, name: str, blob: bytes) -> None:
-        handle = self._append_handles.get(name)
-        if handle is None:
-            handle = open(self._path_for(name), "ab")
-            self._append_handles[name] = handle
-        handle.write(blob)
-        handle.flush()
-        self.stats.flushes += 1
-        self.stats.bytes_written += len(blob)
-        if self._fsync:
-            os.fsync(handle.fileno())
-            self.stats.fsyncs += 1
+        with self.obs.tracer.span("worm.flush", file=name,
+                                  bytes=len(blob)):
+            handle = self._append_handles.get(name)
+            if handle is None:
+                handle = open(self._path_for(name), "ab")
+                self._append_handles[name] = handle
+            handle.write(blob)
+            handle.flush()
+            self._c_flushes.inc()
+            self._c_bytes.inc(len(blob))
+            self._h_flush_bytes.observe(len(blob))
+            if self._fsync:
+                os.fsync(handle.fileno())
+                self._c_fsyncs.inc()
 
     def seal(self, name: str) -> None:
         """Permanently close an append-only file (idempotent).

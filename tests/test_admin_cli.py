@@ -18,10 +18,10 @@ LEDGER = Schema("ledger", [
 def db_path(tmp_path):
     db = CompliantDB.create(
         tmp_path / "db", clock=SimulatedClock(),
-        mode=ComplianceMode.LOG_CONSISTENT,
         config=DBConfig(engine=EngineConfig(page_size=1024,
                                             buffer_pages=16),
                         compliance=ComplianceConfig(
+                            mode=ComplianceMode.LOG_CONSISTENT,
                             regret_interval=minutes(5))))
     db.create_relation(LEDGER)
     for i in range(5):

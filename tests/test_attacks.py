@@ -23,9 +23,8 @@ LEDGER = Schema("ledger", [
 def make_db(tmp_path, mode=ComplianceMode.LOG_CONSISTENT):
     clock = SimulatedClock()
     config = DBConfig(engine=EngineConfig(page_size=1024, buffer_pages=32),
-                      compliance=ComplianceConfig())
-    db = CompliantDB.create(tmp_path / "db", clock=clock, mode=mode,
-                            config=config)
+                      compliance=ComplianceConfig(mode=mode))
+    db = CompliantDB.create(tmp_path / "db", config, clock=clock)
     db.create_relation(LEDGER)
     return db
 

@@ -19,10 +19,10 @@ ROWS = Schema("rows", [
 
 def make_db(tmp_path, mode=ComplianceMode.LOG_CONSISTENT, key=None):
     db = CompliantDB.create(
-        tmp_path / "db", clock=SimulatedClock(), mode=mode,
+        tmp_path / "db", clock=SimulatedClock(),
         config=DBConfig(engine=EngineConfig(page_size=1024,
                                             buffer_pages=16),
-                        compliance=ComplianceConfig()),
+                        compliance=ComplianceConfig(mode=mode)),
         auditor_key=key)
     db.create_relation(ROWS)
     for k in range(10):

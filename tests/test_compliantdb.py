@@ -17,9 +17,9 @@ LEDGER = Schema("ledger", [
 def make_db(tmp_path, mode=ComplianceMode.LOG_CONSISTENT, **compliance):
     clock = SimulatedClock()
     config = DBConfig(engine=EngineConfig(page_size=1024, buffer_pages=32),
-                      compliance=ComplianceConfig(**compliance))
-    db = CompliantDB.create(tmp_path / "db", clock=clock, mode=mode,
-                            config=config)
+                      compliance=ComplianceConfig(mode=mode,
+                                                  **compliance))
+    db = CompliantDB.create(tmp_path / "db", config, clock=clock)
     db.create_relation(LEDGER)
     return db
 
@@ -160,10 +160,9 @@ class TestCleanAudit:
         clock = SimulatedClock()
         config = DBConfig(engine=EngineConfig(page_size=1024,
                                               buffer_pages=12),
-                          compliance=ComplianceConfig())
-        db = CompliantDB.create(tmp_path / "db", clock=clock,
-                                mode=ComplianceMode.HASH_ON_READ,
-                                config=config)
+                          compliance=ComplianceConfig(
+                              mode=ComplianceMode.HASH_ON_READ))
+        db = CompliantDB.create(tmp_path / "db", config, clock=clock)
         db.create_relation(LEDGER)
         add_entries(db, 0, 200)
         for i in range(0, 200, 7):

@@ -20,10 +20,11 @@ ROWS = Schema("rows", [
 
 def make_db(tmp_path, mode=ComplianceMode.HASH_ON_READ):
     db = CompliantDB.create(
-        tmp_path / "db", clock=SimulatedClock(), mode=mode,
+        tmp_path / "db", clock=SimulatedClock(),
         config=DBConfig(engine=EngineConfig(page_size=1024,
                                             buffer_pages=16),
                         compliance=ComplianceConfig(
+                            mode=mode,
                             regret_interval=minutes(5))))
     db.create_relation(ROWS)
     return db
@@ -112,10 +113,11 @@ class TestCrossProcessCrash:
         # simulate a process crash by abandoning the instance entirely
         clock = SimulatedClock()
         db = CompliantDB.create(
-            tmp_path / "db", clock=clock, mode=ComplianceMode.HASH_ON_READ,
+            tmp_path / "db", clock=clock,
             config=DBConfig(engine=EngineConfig(page_size=1024,
                                                 buffer_pages=16),
-                            compliance=ComplianceConfig()))
+                            compliance=ComplianceConfig(
+                                mode=ComplianceMode.HASH_ON_READ)))
         db.create_relation(ROWS)
         for k in range(12):
             with db.transaction() as txn:

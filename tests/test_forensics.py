@@ -16,10 +16,11 @@ LEDGER = Schema("ledger", [
 
 def make_db(tmp_path, mode=ComplianceMode.LOG_CONSISTENT):
     db = CompliantDB.create(
-        tmp_path / "db", clock=SimulatedClock(), mode=mode,
+        tmp_path / "db", clock=SimulatedClock(),
         config=DBConfig(engine=EngineConfig(page_size=1024,
                                             buffer_pages=32),
                         compliance=ComplianceConfig(
+                            mode=mode,
                             regret_interval=minutes(5))))
     db.create_relation(LEDGER)
     for i in range(40):

@@ -26,10 +26,11 @@ MODES = [ComplianceMode.LOG_CONSISTENT, ComplianceMode.HASH_ON_READ]
 
 def make_db(tmp_path, mode=ComplianceMode.HASH_ON_READ, buffer_pages=16):
     db = CompliantDB.create(
-        tmp_path / "db", clock=SimulatedClock(), mode=mode,
+        tmp_path / "db", clock=SimulatedClock(),
         config=DBConfig(engine=EngineConfig(page_size=1024,
                                             buffer_pages=buffer_pages),
                         compliance=ComplianceConfig(
+                            mode=mode,
                             regret_interval=minutes(5))))
     db.create_relation(ROWS)
     return db

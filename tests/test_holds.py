@@ -19,10 +19,10 @@ RETENTION = minutes(30)
 def make_db(tmp_path, migration=False):
     db = CompliantDB.create(
         tmp_path / "db", clock=SimulatedClock(),
-        mode=ComplianceMode.LOG_CONSISTENT,
         config=DBConfig(engine=EngineConfig(page_size=1024,
                                             buffer_pages=32),
                         compliance=ComplianceConfig(
+                            mode=ComplianceMode.LOG_CONSISTENT,
                             regret_interval=minutes(5),
                             worm_migration=migration,
                             split_threshold=0.6)))

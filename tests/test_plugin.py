@@ -21,9 +21,10 @@ ROWS = Schema("rows", [
 def make_db(tmp_path, mode=ComplianceMode.HASH_ON_READ):
     config = DBConfig(engine=EngineConfig(page_size=1024, buffer_pages=16),
                       compliance=ComplianceConfig(
+                          mode=mode,
                           regret_interval=minutes(5)))
-    db = CompliantDB.create(tmp_path / "db", clock=SimulatedClock(),
-                            mode=mode, config=config)
+    db = CompliantDB.create(tmp_path / "db", config,
+                            clock=SimulatedClock())
     db.create_relation(ROWS)
     return db
 

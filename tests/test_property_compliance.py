@@ -41,10 +41,10 @@ OPS = st.one_of(
 def apply_trace(tmp_path, mode, trace):
     db = CompliantDB.create(
         tmp_path / "db", clock=SimulatedClock(),
-        mode=mode,
         config=DBConfig(engine=EngineConfig(page_size=1024,
                                             buffer_pages=16),
                         compliance=ComplianceConfig(
+                            mode=mode,
                             regret_interval=minutes(5))))
     db.create_relation(ITEMS)
     model = {}

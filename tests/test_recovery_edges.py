@@ -108,10 +108,11 @@ class TestTornTail:
 
 def make_db(tmp_path, mode=ComplianceMode.HASH_ON_READ):
     db = CompliantDB.create(
-        tmp_path / "db", clock=SimulatedClock(), mode=mode,
+        tmp_path / "db", clock=SimulatedClock(),
         config=DBConfig(engine=EngineConfig(page_size=1024,
                                             buffer_pages=16),
                         compliance=ComplianceConfig(
+                            mode=mode,
                             regret_interval=minutes(5))))
     db.create_relation(ROWS)
     return db

@@ -20,11 +20,11 @@ def make_db(tmp_path, mode=ComplianceMode.LOG_CONSISTENT,
     clock = SimulatedClock()
     config = DBConfig(
         engine=EngineConfig(page_size=1024, buffer_pages=32),
-        compliance=ComplianceConfig(regret_interval=minutes(5),
+        compliance=ComplianceConfig(mode=mode,
+                                    regret_interval=minutes(5),
                                     worm_migration=migration,
                                     split_threshold=0.6))
-    db = CompliantDB.create(tmp_path / "db", clock=clock, mode=mode,
-                            config=config)
+    db = CompliantDB.create(tmp_path / "db", config, clock=clock)
     db.create_relation(PII)
     db.set_retention("pii", RETENTION)
     return db

@@ -19,10 +19,10 @@ LEDGER = Schema("ledger", [
 def db(tmp_path):
     db = CompliantDB.create(
         tmp_path / "db", clock=SimulatedClock(),
-        mode=ComplianceMode.LOG_CONSISTENT,
         config=DBConfig(engine=EngineConfig(page_size=1024,
                                             buffer_pages=32),
-                        compliance=ComplianceConfig()))
+                        compliance=ComplianceConfig(
+                            mode=ComplianceMode.LOG_CONSISTENT)))
     db.create_relation(LEDGER)
     for i in range(12):  # leaves slack on the rightmost leaf
         with db.transaction() as txn:

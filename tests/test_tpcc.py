@@ -14,9 +14,9 @@ def make_db(tmp_path, mode=ComplianceMode.REGULAR, buffer_pages=128):
     config = DBConfig(engine=EngineConfig(page_size=2048,
                                           buffer_pages=buffer_pages),
                       compliance=ComplianceConfig(
+                          mode=mode,
                           regret_interval=minutes(5)))
-    return CompliantDB.create(tmp_path / "db", clock=clock, mode=mode,
-                              config=config)
+    return CompliantDB.create(tmp_path / "db", config, clock=clock)
 
 
 @pytest.fixture(scope="module")
