@@ -3,27 +3,34 @@
 
 Executes the three-architecture TPC-C sweep (REGULAR / LOG_CONSISTENT /
 HASH_ON_READ) at a fixed small scale and writes a JSON report — the
-``--out`` file, ``BENCH_PR4.json`` in the repository root by default —
+``--out`` file, ``BENCH_PR5.json`` in the repository root by default —
 with txn/s and compliance overhead percentages per mode, a full
-``repro.obs`` metrics snapshot and trace span counts per mode, and an
-instrumentation-overhead measurement (enabled vs no-op registry).
+``repro.obs`` metrics snapshot and trace span counts per mode, an
+instrumentation-overhead measurement (enabled vs no-op registry), and
+an audit-scaling section (serial auditor vs the partitioned auditor at
+several worker counts, gated on report equality).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py \
         [--txns N] [--out FILE] [--baseline FILE] [--label NAME] \
-        [--quick] [--max-overhead PCT]
+        [--quick] [--max-overhead PCT] [--audit-only] \
+        [--audit-workers N,N,...]
 
 ``--baseline`` embeds a previously captured report under ``"baseline"``
 so a single file shows before/after.  ``--quick`` shrinks the run for
 CI smoke jobs; ``--max-overhead`` makes the process exit non-zero when
 the measured instrumentation overhead exceeds the given percentage.
+``--audit-only`` skips the sweep and instrumentation sections and runs
+just the audit-scaling measurement; any parallel audit whose report
+differs from the serial one makes the process exit non-zero.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 import time
@@ -33,10 +40,21 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench import build_db, make_driver  # noqa: E402
 from repro.common.config import ComplianceMode  # noqa: E402
+from repro.core import Auditor, ParallelAuditor  # noqa: E402
 from repro.tpcc import TPCCScale  # noqa: E402
 
 #: Fig 3(a)'s cache ratio: 256 MB of a 2.5 GB database
 CACHE_RATIO = 0.10
+
+#: per-page device latency for the audit scan — one random read on the
+#: paper's 2009-era enterprise disk (~3 ms seek+rotate).  The audit is
+#: the paper's terabyte-scan worry, so the scaling section restores the
+#: I/O-bound balance the tiny bench database otherwise lacks.
+AUDIT_IO_DELAY = 0.003
+
+#: final-state pages per partitioned-audit task (small enough that the
+#: bench database splits into far more chunks than workers)
+AUDIT_CHUNK_PAGES = 64
 
 MODES = (ComplianceMode.REGULAR, ComplianceMode.LOG_CONSISTENT,
          ComplianceMode.HASH_ON_READ)
@@ -149,13 +167,79 @@ def measure_obs_overhead(txns: int, root: Path, repeats: int = 3) -> dict:
     }
 
 
+def measure_audit_scaling(txns: int, root: Path,
+                          worker_counts: tuple = (2, 4, 8),
+                          repeats: int = 2) -> dict:
+    """Serial vs partitioned audit of the same HASH_ON_READ database.
+
+    The workload is built with zero simulated I/O delay (fast), then the
+    pager is given :data:`AUDIT_IO_DELAY` per page read so the audit
+    scan pays a realistic device latency — the serial auditor through
+    the pager's calibrated spin, the audit workers through an
+    equivalent blocking sleep that overlaps across processes the way
+    real disk reads do.  Every audit is a dry run (``rotate=False``) of
+    the identical epoch; each parallel report is compared against the
+    serial one and any difference is reported as a gate failure.
+    Timings are interleaved best-of-``repeats`` so drift hits every
+    configuration equally.
+    """
+    scale = TPCCScale.small()
+    db = build_db(root / "audit-scaling", ComplianceMode.HASH_ON_READ,
+                  scale, buffer_pages=256, io_delay=0.0)
+    make_driver(db, scale).run(txns)
+    db.engine.pager.io_delay = AUDIT_IO_DELAY
+
+    serial_report = Auditor(db).audit(rotate=False)
+    configs: list = ["serial"] + list(worker_counts)
+    best: dict = {name: None for name in configs}
+    mismatches: list = []
+    for _ in range(repeats):
+        for name in configs:
+            started = time.perf_counter()
+            if name == "serial":
+                report = Auditor(db).audit(rotate=False)
+            else:
+                report = ParallelAuditor(
+                    db, workers=name, chunk_pages=AUDIT_CHUNK_PAGES,
+                    checkpoint_every=0).audit(rotate=False)
+            elapsed = time.perf_counter() - started
+            if report.comparable() != serial_report.comparable():
+                mismatches.append(name)
+            prev = best[name]
+            best[name] = elapsed if prev is None else min(prev, elapsed)
+    pages = db.engine.pager.page_count
+    db.close()
+
+    serial_seconds = best.pop("serial")
+    workers = {}
+    for count in worker_counts:
+        elapsed = best[count]
+        workers[str(count)] = {
+            "elapsed_seconds": round(elapsed, 4),
+            "speedup": round(serial_seconds / elapsed, 2),
+        }
+    return {
+        "transactions": txns,
+        "io_delay_seconds": AUDIT_IO_DELAY,
+        "chunk_pages": AUDIT_CHUNK_PAGES,
+        "data_pages": pages,
+        "pages_scanned": serial_report.pages_scanned,
+        "log_records": serial_report.log_records,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 4),
+        "workers": workers,
+        "reports_match": not mismatches,
+        "mismatched_configs": sorted(set(str(m) for m in mismatches)),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--txns", type=int, default=300,
                         help="transactions per mode (default 300)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent /
-                        "BENCH_PR4.json")
+                        "BENCH_PR5.json")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="embed a previously captured report")
     parser.add_argument("--label", default="current",
@@ -165,6 +249,12 @@ def main(argv=None) -> int:
     parser.add_argument("--max-overhead", type=float, default=None,
                         help="fail if instrumentation overhead exceeds "
                              "this percentage")
+    parser.add_argument("--audit-only", action="store_true",
+                        help="run only the audit-scaling section")
+    parser.add_argument("--audit-workers", default=None,
+                        help="comma-separated worker counts for the "
+                             "audit-scaling section (default 2,4,8; "
+                             "2 under --quick)")
     args = parser.parse_args(argv)
     if args.quick:
         args.txns = min(args.txns, 120)
@@ -172,32 +262,61 @@ def main(argv=None) -> int:
         parser.error("--txns must be at least 1")
     if args.baseline is not None and not args.baseline.exists():
         parser.error(f"--baseline file not found: {args.baseline}")
+    if args.audit_workers is not None:
+        try:
+            worker_counts = tuple(
+                int(part) for part in args.audit_workers.split(","))
+        except ValueError:
+            parser.error("--audit-workers must be comma-separated ints")
+        if any(count < 1 for count in worker_counts):
+            parser.error("--audit-workers counts must be >= 1")
+    else:
+        worker_counts = (2,) if args.quick else (2, 4, 8)
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
-        report = run_sweep(args.txns, Path(tmp))
-        report["instrumentation_overhead"] = measure_obs_overhead(
-            args.txns, Path(tmp))
+        report = {}
+        if not args.audit_only:
+            report = run_sweep(args.txns, Path(tmp))
+            report["instrumentation_overhead"] = measure_obs_overhead(
+                args.txns, Path(tmp))
+        report["audit_scaling"] = measure_audit_scaling(
+            args.txns, Path(tmp), worker_counts=worker_counts,
+            repeats=1 if args.quick else 2)
     report = {"label": args.label, "transactions_per_mode": args.txns,
               "scale": "small", "quick": args.quick, **report}
     if args.baseline is not None:
         report["baseline"] = json.loads(args.baseline.read_text())
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
-    for mode, pct in report["overhead_pct"].items():
+    for mode, pct in report.get("overhead_pct", {}).items():
         print(f"  {mode} overhead: {pct:+.1f}%")
-    for mode, entry in report["modes"].items():
+    for mode, entry in report.get("modes", {}).items():
         per_k = entry.get("worm_flushes_per_1000_txns")
         if per_k is not None:
             print(f"  {mode} WORM flushes/1000 txns: {per_k}")
-    obs = report["instrumentation_overhead"]
-    print(f"  obs instrumentation overhead: "
-          f"{obs['overhead_pct']:+.2f}% over {obs['transactions']} txns")
-    if args.max_overhead is not None and \
+    obs = report.get("instrumentation_overhead")
+    if obs is not None:
+        print(f"  obs instrumentation overhead: "
+              f"{obs['overhead_pct']:+.2f}% over "
+              f"{obs['transactions']} txns")
+    audit = report["audit_scaling"]
+    print(f"  audit serial: {audit['serial_seconds']}s over "
+          f"{audit['pages_scanned']} pages / "
+          f"{audit['log_records']} log records")
+    for count, entry in audit["workers"].items():
+        print(f"  audit {count} workers: {entry['elapsed_seconds']}s "
+              f"({entry['speedup']}x)")
+    failed = False
+    if not audit["reports_match"]:
+        print("  FAIL: parallel audit report(s) differ from serial: "
+              f"{audit['mismatched_configs']}", file=sys.stderr)
+        failed = True
+    if obs is not None and args.max_overhead is not None and \
             obs["overhead_pct"] > args.max_overhead:
         print(f"  FAIL: overhead above --max-overhead "
               f"{args.max_overhead}%", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

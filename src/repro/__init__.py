@@ -23,12 +23,14 @@ from .common.clock import SimulatedClock, days, minutes, seconds, years
 from .common.codec import Field, FieldType, Schema
 from .common.config import (ComplianceConfig, ComplianceMode, DBConfig,
                             EngineConfig)
-from .core import (AuditReport, Auditor, CompliantDB, Finding, VacuumReport)
+from .core import (AuditReport, Auditor, CompliantDB, Finding,
+                   ParallelAuditor, VacuumReport)
 from .crypto import AddHash, AuditorKey, SeqHash
 
 __all__ = [
     "AddHash", "AuditReport", "Auditor", "AuditorKey", "ComplianceConfig",
     "ComplianceMode", "CompliantDB", "DBConfig", "EngineConfig", "Field",
-    "FieldType", "Finding", "Schema", "SeqHash", "SimulatedClock",
+    "FieldType", "Finding", "ParallelAuditor", "Schema", "SeqHash",
+    "SimulatedClock",
     "VacuumReport", "days", "minutes", "seconds", "years", "__version__",
 ]

@@ -54,7 +54,7 @@ from ..temporal.history import decode_hist_page
 from ..wal import WalRecord, WalRecordType, analyse
 from .compliance_log import ComplianceLog
 from .plugin import decode_index_content, index_content_bytes
-from .records import CLogRecord, CLogType
+from .records import AuxStampEntry, CLogRecord, CLogType
 from .shredding import EXPIRY_RELATION
 from .snapshot import Snapshot, load_snapshot, write_snapshot
 
@@ -68,6 +68,14 @@ class Finding:
     code: str
     detail: str
     pgno: Optional[int] = None
+    #: which audit phase raised it (snapshot/log/final/checks); part of
+    #: the deterministic report ordering, not of the human rendering
+    phase: str = ""
+
+    def sort_key(self) -> Tuple[str, str, str, int]:
+        """Deterministic ordering key, independent of discovery order."""
+        return (self.phase, self.code, self.detail,
+                -1 if self.pgno is None else self.pgno)
 
     def __str__(self) -> str:
         where = f" (page {self.pgno})" if self.pgno is not None else ""
@@ -91,12 +99,71 @@ class AuditReport:
     migrations_verified: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     new_epoch: Optional[int] = None
+    #: hex ADD-HASH digests of the two sides of ``Df = Ds ∪ L``
+    expected_digest: str = ""
+    final_digest: str = ""
+    #: parallel-audit provenance (0 = serial single-pass auditor)
+    workers: int = 0
+    tasks_total: int = 0
+    tasks_resumed: int = 0
+    #: phase stamped onto findings as they are added (set by the
+    #: auditor's phase loop; excluded from report comparisons)
+    current_phase: str = field(default="", repr=False, compare=False)
 
     def add(self, code: str, detail: str,
             pgno: Optional[int] = None) -> None:
         """Record a violation."""
-        self.findings.append(Finding(code, detail, pgno))
+        self.findings.append(Finding(code, detail, pgno,
+                                     phase=self.current_phase))
         self.ok = False
+
+    def extend(self, findings: List[Finding]) -> None:
+        """Merge findings produced elsewhere (e.g. by audit workers).
+
+        Findings that were created without a phase inherit the report's
+        current phase, so serial and partitioned audits tag identically.
+        """
+        for finding in findings:
+            if not finding.phase:
+                finding.phase = self.current_phase
+            self.findings.append(finding)
+        if findings:
+            self.ok = False
+
+    def finalize(self) -> None:
+        """Put findings into their canonical deterministic order.
+
+        Sorting by (phase, code, detail, pgno) makes the report
+        independent of discovery order — a serial scan and any worker
+        interleaving of the partitioned scan produce the same list.
+        """
+        self.findings.sort(key=Finding.sort_key)
+
+    def comparable(self) -> Dict[str, object]:
+        """The report's decision-relevant content, for equality checks.
+
+        Excludes wall-clock timings and parallel-execution provenance
+        (worker/task counts), which legitimately differ between a serial
+        and a partitioned run of the same audit.
+        """
+        return {
+            "epoch": self.epoch,
+            "ok": self.ok,
+            "findings": [(f.phase, f.code, f.detail, f.pgno)
+                         for f in sorted(self.findings,
+                                         key=Finding.sort_key)],
+            "snapshot_tuples": self.snapshot_tuples,
+            "final_tuples": self.final_tuples,
+            "log_records": self.log_records,
+            "new_tuples": self.new_tuples,
+            "read_hashes_checked": self.read_hashes_checked,
+            "pages_scanned": self.pages_scanned,
+            "shredded_verified": self.shredded_verified,
+            "migrations_verified": self.migrations_verified,
+            "expected_digest": self.expected_digest,
+            "final_digest": self.final_digest,
+            "new_epoch": self.new_epoch,
+        }
 
     def codes(self) -> Set[str]:
         """Distinct finding codes (handy in tests)."""
@@ -165,6 +232,7 @@ class Auditor:
         with db.obs.tracer.span("audit", epoch=db.epoch) as span:
             self._run_phases(report, rotate)
             span.set(ok=report.ok, findings=len(report.findings))
+        report.finalize()
         (self._c_pass if report.ok else self._c_fail).inc()
         return report
 
@@ -173,6 +241,7 @@ class Auditor:
         tracer = db.obs.tracer
 
         started = time.perf_counter()
+        report.current_phase = "snapshot"
         with tracer.span("audit.snapshot"):
             try:
                 snapshot = load_snapshot(db.worm, self._key, db.epoch)
@@ -185,17 +254,19 @@ class Auditor:
         self._end_phase(report, "snapshot", started)
 
         started = time.perf_counter()
+        report.current_phase = "log"
         with tracer.span("audit.log"):
-            scan = _LogScan(self, snapshot, report)
-            scan.run()
+            scan = self._scan_log(snapshot, report)
         self._end_phase(report, "log", started)
 
         started = time.perf_counter()
+        report.current_phase = "final"
         with tracer.span("audit.final"):
             final = self._scan_final_state(report)
         self._end_phase(report, "final", started)
 
         started = time.perf_counter()
+        report.current_phase = "checks"
         with tracer.span("audit.checks"):
             self._check_completeness(snapshot, scan, final, report)
             self._check_shredding(scan, final, report)
@@ -206,12 +277,21 @@ class Auditor:
 
         if report.ok and rotate:
             started = time.perf_counter()
+            report.current_phase = "rotate"
             with tracer.span("audit.rotate"):
                 write_snapshot(
                     db.worm, self._key, db.engine, epoch=db.epoch + 1,
                     retention=db.config.compliance.worm_retention)
                 report.new_epoch = db.rotate_epoch()
             self._end_phase(report, "rotate", started)
+
+    def _scan_log(self, snapshot: Snapshot,
+                  report: AuditReport) -> ScanState:
+        """Single-threaded forward pass over L (overridden by the
+        partitioned auditor)."""
+        scan = _LogScan(self._db, snapshot, report)
+        scan.run()
+        return scan
 
     def verify_tuple(self, relation: str, key: Tuple) -> List[Finding]:
         """Targeted spot check of one tuple's version history.
@@ -335,7 +415,7 @@ class Auditor:
 
     # -- completeness -------------------------------------------------------------------
 
-    def _check_completeness(self, snapshot: Snapshot, scan: "_LogScan",
+    def _check_completeness(self, snapshot: Snapshot, scan: ScanState,
                             final: "_FinalState",
                             report: AuditReport) -> None:
         expected: Dict[NormId, bytes] = {}
@@ -377,7 +457,14 @@ class Auditor:
                            f"SHREDDED content differs for {nid!r}")
 
         expected_hash = AddHash(expected.values())  # repro-lint: disable=replay-determinism -- ADD-HASH is commutative; iteration order cannot change the digest
-        final_hash = AddHash(final.tuples.values())  # repro-lint: disable=replay-determinism -- ADD-HASH is commutative; iteration order cannot change the digest
+        if final.add_hash is not None:
+            # partitioned scan: the union of the per-chunk partial
+            # hashes, sound because ADD-HASH is commutative
+            final_hash = final.add_hash
+        else:
+            final_hash = AddHash(final.tuples.values())  # repro-lint: disable=replay-determinism -- ADD-HASH is commutative; iteration order cannot change the digest
+        report.expected_digest = expected_hash.hexdigest()
+        report.final_digest = final_hash.hexdigest()
         if expected_hash != final_hash:
             missing = [nid for nid in expected if nid not in final.tuples]
             extra = [nid for nid in final.tuples if nid not in expected]
@@ -393,7 +480,7 @@ class Auditor:
 
     # -- shredding legality -----------------------------------------------------------------
 
-    def _check_shredding(self, scan: "_LogScan", final: "_FinalState",
+    def _check_shredding(self, scan: ScanState, final: "_FinalState",
                          report: AuditReport) -> None:
         if not scan.shredded:
             return
@@ -468,7 +555,7 @@ class Auditor:
 
     # -- WAL mirror cross-check ---------------------------------------------------------------
 
-    def _check_wal_mirror(self, scan: "_LogScan",
+    def _check_wal_mirror(self, scan: ScanState,
                           report: AuditReport) -> None:
         from .database import wal_mirror_name
         name = wal_mirror_name(self._db.epoch)
@@ -532,7 +619,7 @@ class Auditor:
 
     # -- liveness ------------------------------------------------------------------------------
 
-    def _check_liveness(self, snapshot: Snapshot, scan: "_LogScan",
+    def _check_liveness(self, snapshot: Snapshot, scan: ScanState,
                         report: AuditReport) -> None:
         regret = self._db.config.compliance.regret_interval
         events: List[Tuple[int, str]] = [(snapshot.created_at, "start")]
@@ -576,7 +663,7 @@ class Auditor:
 
     # -- historical directory ------------------------------------------------------------------
 
-    def _check_directory(self, scan: "_LogScan",
+    def _check_directory(self, scan: ScanState,
                          report: AuditReport) -> None:
         engine = self._db.engine
         for entry in engine.histdir.all_entries():
@@ -593,25 +680,17 @@ class Auditor:
                 report.migrations_verified += 1
 
 
-@dataclass
-class _FinalState:
-    """Accumulator for the final-state disk scan."""
+class ScanState:
+    """The log-scan state the audit's check phases consume.
 
-    tuples: Dict[NormId, bytes] = field(default_factory=dict)
-    roots: Dict[int, int] = field(default_factory=dict)
-    names: Dict[int, str] = field(default_factory=dict)
-    root_by_name: Dict[str, int] = field(default_factory=dict)
+    Produced either by the serial :class:`_LogScan` single pass or by
+    the parallel coordinator's merge of partitioned slice scans
+    (:mod:`repro.core.parallel_audit`); the check methods only ever see
+    this shape.
+    """
 
-
-class _LogScan:
-    """Single forward pass over the epoch's compliance log."""
-
-    def __init__(self, auditor: Auditor, snapshot: Snapshot,
-                 report: AuditReport):
-        self._db = auditor._db
-        self.report = report
-        self.hash_on_read = \
-            self._db.mode is ComplianceMode.HASH_ON_READ
+    def __init__(self) -> None:
+        self.hash_on_read = False
         self.commit_map: Dict[int, int] = {}
         self.aborted: Set[int] = set()
         self.stamp_times: List[int] = []
@@ -621,29 +700,115 @@ class _LogScan:
         self.shredded_ids: Set[NormId] = set()
         self.migrated_ids: Set[NormId] = set()
         self.migrate_refs: Set[str] = set()
-        self.aux_entries = []
+        self.aux_entries: List[AuxStampEntry] = []
         self.undos: List[Tuple[CLogRecord, TupleVersion, NormId]] = []
-        # hash-page-on-read replay state
+
+
+@dataclass
+class _FinalState:
+    """Accumulator for the final-state disk scan."""
+
+    tuples: Dict[NormId, bytes] = field(default_factory=dict)
+    roots: Dict[int, int] = field(default_factory=dict)
+    names: Dict[int, str] = field(default_factory=dict)
+    root_by_name: Dict[str, int] = field(default_factory=dict)
+    #: precomputed ADD-HASH of ``tuples`` (set by the partitioned scan
+    #: from the per-chunk partials; None = compute from ``tuples``)
+    add_hash: Optional[AddHash] = None
+
+
+class _LogScan(ScanState):
+    """Forward pass over the epoch's compliance log.
+
+    With the default partition (``slice_index=0, slice_count=1``) this is
+    the serial auditor's single pass.  A partitioned scan (the parallel
+    auditor) runs ``slice_count`` instances, each owning the pages with
+    ``pgno % slice_count == slice_index``: every slice streams the whole
+    log and applies *control* records (STAMP_TRANS / ABORT /
+    START_RECOVERY / CLOSE_EPOCH) so its commit-map timeline matches the
+    serial scan at every record position — READ_HASH replay must resolve
+    transaction ids against the commit map *as of the read*, not the
+    final one — while page-keyed records (NEW_TUPLE, UNDO, PAGE_SPLIT,
+    READ_HASH, SHREDDED, PAGE_RESET, MIGRATE) are handled only by their
+    owning slice.  Slice 0 additionally emits the global (page-less)
+    findings and counters, so the union over slices of findings and
+    collected state is exactly the serial scan's.
+    """
+
+    def __init__(self, db, snapshot: Optional[Snapshot],
+                 report: AuditReport, slice_index: int = 0,
+                 slice_count: int = 1):
+        super().__init__()
+        self._db = db
+        self.report = report
+        self._slice_index = slice_index
+        self._slice_count = slice_count
+        #: slice 0 owns the global findings/counters of the scan
+        self._primary = slice_index == 0
+        self.hash_on_read = \
+            self._db.mode is ComplianceMode.HASH_ON_READ
+        #: log position of each collected new_tuples/shredded/undos item
+        #: — lets a coordinator merge slices back into log order
+        self.new_tuple_order: List[int] = []
+        self.shredded_order: List[int] = []
+        self.undo_order: List[int] = []
+        # hash-page-on-read replay state (owned pages only)
+        snap_leaves = snapshot.leaf_pages if snapshot is not None else {}
+        snap_index = snapshot.index_pages if snapshot is not None else {}
         self.leaf_models: Dict[int, Dict[NormId, TupleVersion]] = {
             pgno: {(t.relation_id, t.key, True, t.start): t
                    for t in entries}
-            for pgno, entries in snapshot.leaf_pages.items()}
+            for pgno, entries in snap_leaves.items()
+            if self._owns_page(pgno)}
         self.index_models: Dict[int, Tuple[List[int],
                                            List[Tuple[bytes, int]]]] = {
             pgno: decode_index_content(raw)
-            for pgno, raw in snapshot.index_pages.items()}
+            for pgno, raw in snap_index.items()
+            if self._owns_page(pgno)}
         self._unstamped_index: Dict[int, List[Tuple[int, NormId]]] = {}
         self._saw_recovery = False
         self._closed = False
+        self._idx = -1
+        # per-version normalisation memo (satellite: the replay hot
+        # path re-encoded every tuple on each READ_HASH dispatch)
+        self._ni_cache: Dict[int, Tuple[TupleVersion, int, NormId]] = {}
+        self._nb_cache: Dict[int, Tuple[TupleVersion, int, bytes]] = {}
+        self.norm_memo_hits = 0
 
     # -- helpers ----------------------------------------------------------------
+
+    def _owns_page(self, pgno: int) -> bool:
+        """Does this slice own ``pgno``?  (Always true when serial.)
+
+        Python's floored modulo keeps the rule total even for the
+        sentinel ``pgno == -1`` a spurious record may carry, and every
+        slice agrees on the owner, so each record is handled exactly
+        once.
+        """
+        return self._slice_count == 1 or \
+            pgno % self._slice_count == self._slice_index
+
+    def _add_global(self, code: str, detail: str,
+                    pgno: Optional[int] = None) -> None:
+        """Record a page-less violation (primary slice only, so a
+        partitioned scan reports it exactly once)."""
+        if self._primary:
+            self.report.add(code, detail, pgno)
 
     def _norm_id(self, version: TupleVersion) -> NormId:
         if version.stamped:
             return (version.relation_id, version.key, True, version.start)
         commit_time = self.commit_map.get(version.start)
         if commit_time is not None:
-            return (version.relation_id, version.key, True, commit_time)
+            cached = self._ni_cache.get(id(version))
+            if cached is not None and cached[0] is version and \
+                    cached[1] == commit_time:
+                self.norm_memo_hits += 1
+                return cached[2]
+            nid: NormId = (version.relation_id, version.key, True,
+                           commit_time)
+            self._ni_cache[id(version)] = (version, commit_time, nid)
+            return nid
         return (version.relation_id, version.key, False, version.start)
 
     def _norm_bytes(self, version: TupleVersion) -> bytes:
@@ -652,7 +817,20 @@ class _LogScan:
         commit_time = self.commit_map.get(version.start)
         if commit_time is None:
             return version.to_bytes()
-        return version.stamp(commit_time).to_bytes()
+        # memoised per (version, resolved commit time): stamping creates
+        # a fresh TupleVersion and re-encodes it, which dominated the
+        # READ_HASH replay (every tuple of the page, on every read).
+        # The cache pins the version object so an id() reuse after GC
+        # cannot alias, and re-resolves if a later STAMP_TRANS changes
+        # the commit time this version normalises to.
+        cached = self._nb_cache.get(id(version))
+        if cached is not None and cached[0] is version and \
+                cached[1] == commit_time:
+            self.norm_memo_hits += 1
+            return cached[2]
+        raw = version.stamp(commit_time).to_bytes()
+        self._nb_cache[id(version)] = (version, commit_time, raw)
+        return raw
 
     def _model_set(self, pgno: int, version: TupleVersion) -> None:
         nid = self._norm_id(version)
@@ -680,42 +858,64 @@ class _LogScan:
         except ComplianceLogError as exc:
             self.report.add("aux-log", f"stamp index unreadable: {exc}")
         try:
-            for _, record in clog.records():
+            for idx, (_, record) in enumerate(clog.records()):
                 self.report.log_records += 1
-                self._dispatch(record)
+                self.dispatch(idx, record)
         except ComplianceLogError as exc:
             self.report.add("log-corrupt", str(exc))
         self.finish()
 
-    def _dispatch(self, record: CLogRecord) -> None:
+    def dispatch(self, idx: int, record: CLogRecord) -> None:
+        """Apply one log record (position ``idx`` in L) to the scan."""
+        self._idx = idx
         if self._closed:
-            self.report.add("record-after-close",
-                            f"{record.rtype.name} record appended after "
-                            "CLOSE_EPOCH — a closed epoch's log was "
-                            "extended")
+            self._record_after_close(record.rtype.name)
         handler = getattr(self, f"_on_{record.rtype.name.lower()}", None)
         if handler is not None:
             handler(record)
 
+    def note_skipped(self, idx: int, rtype_name: str) -> None:
+        """Advance past a record another slice owns (peek-skip path).
+
+        The partitioned scan avoids fully decoding unowned page-keyed
+        records, but the record-after-close invariant must still see
+        every log position.
+        """
+        self._idx = idx
+        if self._closed:
+            self._record_after_close(rtype_name)
+
+    def _record_after_close(self, rtype_name: str) -> None:
+        self._add_global("record-after-close",
+                         f"{rtype_name} record appended after "
+                         "CLOSE_EPOCH — a closed epoch's log was "
+                         "extended")
+
     def _on_new_tuple(self, record: CLogRecord) -> None:
+        if not self._owns_page(record.pgno):
+            return
         version = TupleVersion.from_bytes(record.tuple_bytes)[0]
         self.new_tuples.append(version)
+        self.new_tuple_order.append(self._idx)
         if self.hash_on_read:
             self._model_set(record.pgno, version)
 
     def _on_stamp_trans(self, record: CLogRecord) -> None:
+        # control record: every slice applies it (the commit-map
+        # timeline must match the serial scan's at each log position),
+        # but only the primary voices the findings
         self.stamp_times.append(record.commit_time)
         if record.heartbeat:
             return
         if record.txn_id in self.aborted:
-            self.report.add("abort-and-commit",
+            self._add_global("abort-and-commit",
                             f"txn {record.txn_id} has both STAMP_TRANS "
                             "and ABORT records")
             return
         known = self.commit_map.get(record.txn_id)
         if known is not None:
             if known != record.commit_time:
-                self.report.add("stamp-duplicate",
+                self._add_global("stamp-duplicate",
                                 f"conflicting commit times for txn "
                                 f"{record.txn_id}")
             return
@@ -732,13 +932,15 @@ class _LogScan:
 
     def _on_abort(self, record: CLogRecord) -> None:
         if record.txn_id in self.commit_map:
-            self.report.add("abort-and-commit",
+            self._add_global("abort-and-commit",
                             f"txn {record.txn_id} has both STAMP_TRANS "
                             "and ABORT records")
             return
         self.aborted.add(record.txn_id)
 
     def _on_undo(self, record: CLogRecord) -> None:
+        if not self._owns_page(record.pgno):
+            return
         version = TupleVersion.from_bytes(record.tuple_bytes)[0]
         nid = self._norm_id(version)
         # validation is deferred to end-of-scan: the write-behind of an
@@ -746,6 +948,7 @@ class _LogScan:
         # before its ABORT record is appended, so UNDO-before-ABORT is a
         # legal interleaving
         self.undos.append((record, version, nid))
+        self.undo_order.append(self._idx)
         model = self.leaf_models.get(record.pgno)
         if model is not None:
             model.pop(nid, None)
@@ -753,60 +956,73 @@ class _LogScan:
     def finish(self) -> None:
         """End-of-scan validation of deferred UNDO records.
 
-        Identities are re-resolved against the *final* commit map, since a
-        commit's STAMP_TRANS may trail its tuples' page flushes.
+        Identities are re-resolved against the *final* commit map, since
+        a commit's STAMP_TRANS may trail its tuples' page flushes.  A
+        partitioned scan must NOT run this per slice: the SHREDDED record
+        explaining an UNDO can live on a different page (hence a
+        different slice), so the coordinator calls
+        :func:`validate_undos` once over the merged state instead.
         """
-        for record, version, _ in self.undos:
-            nid = self._norm_id(version)
-            if nid[2]:
-                if nid not in self.shredded_ids:
-                    self.report.add(
-                        "undo-unexplained",
-                        f"UNDO of committed version {nid!r} with no "
-                        "SHREDDED record", pgno=record.pgno)
-            elif version.start not in self.aborted:
-                self.report.add(
-                    "undo-unexplained",
-                    f"UNDO for txn {version.start} which never aborted",
-                    pgno=record.pgno)
+        validate_undos(self.undos, self.commit_map, self.aborted,
+                       self.shredded_ids, self.report)
 
     def _on_page_split(self, record: CLogRecord) -> None:
+        # a split touches up to four pages (split page, both result
+        # pages, parent), possibly owned by different slices: each slice
+        # performs exactly the sub-operations for the pages it owns, in
+        # the serial order.  Pages that coincide (e.g. the split page
+        # reused as the left result) share one owner, so their relative
+        # order of effects is preserved.
         if not self.hash_on_read:
             return
         if record.is_index:
-            left = decode_index_content(record.left_content[0])
-            right = decode_index_content(record.right_content[0])
-            if record.pgno == record.parent_pgno:  # root index split
+            if self._owns_page(record.pgno) and \
+                    record.pgno == record.parent_pgno:  # root index split
                 self.index_models[record.pgno] = (
                     [record.left_pgno, record.right_pgno],
                     [(record.sep_key, record.sep_start)])
-            else:
+            elif record.pgno != record.parent_pgno and \
+                    self._owns_page(record.parent_pgno):
                 self._parent_insert(record)
-            self.index_models[record.left_pgno] = left
-            self.index_models[record.right_pgno] = right
+            if self._owns_page(record.left_pgno):
+                self.index_models[record.left_pgno] = \
+                    decode_index_content(record.left_content[0])
+            if self._owns_page(record.right_pgno):
+                self.index_models[record.right_pgno] = \
+                    decode_index_content(record.right_content[0])
             return
-        left = [TupleVersion.from_bytes(b)[0]
-                for b in record.left_content]
-        right = [TupleVersion.from_bytes(b)[0]
-                 for b in record.right_content]
-        old_model = self.leaf_models.get(record.pgno)
-        if old_model is not None:
-            combined = {self._norm_id(t) for t in left + right}
-            if set(old_model) != combined:
-                self.report.add("split-content-mismatch",
-                                "PAGE_SPLIT contents do not match the "
-                                "page's replayed state",
-                                pgno=record.pgno)
-        if record.pgno == record.parent_pgno:
-            # root leaf became an internal node
-            self.leaf_models.pop(record.pgno, None)
-            self.index_models[record.pgno] = (
-                [record.left_pgno, record.right_pgno],
-                [(record.sep_key, record.sep_start)])
-        else:
+        left: List[TupleVersion] = []
+        right: List[TupleVersion] = []
+        if self._owns_page(record.pgno) or \
+                self._owns_page(record.left_pgno):
+            left = [TupleVersion.from_bytes(b)[0]
+                    for b in record.left_content]
+        if self._owns_page(record.pgno) or \
+                self._owns_page(record.right_pgno):
+            right = [TupleVersion.from_bytes(b)[0]
+                     for b in record.right_content]
+        if self._owns_page(record.pgno):
+            old_model = self.leaf_models.get(record.pgno)
+            if old_model is not None:
+                combined = {self._norm_id(t) for t in left + right}
+                if set(old_model) != combined:
+                    self.report.add("split-content-mismatch",
+                                    "PAGE_SPLIT contents do not match the "
+                                    "page's replayed state",
+                                    pgno=record.pgno)
+            if record.pgno == record.parent_pgno:
+                # root leaf became an internal node
+                self.leaf_models.pop(record.pgno, None)
+                self.index_models[record.pgno] = (
+                    [record.left_pgno, record.right_pgno],
+                    [(record.sep_key, record.sep_start)])
+        if record.pgno != record.parent_pgno and \
+                self._owns_page(record.parent_pgno):
             self._parent_insert(record)
-        self._rebuild_model(record.left_pgno, left)
-        self._rebuild_model(record.right_pgno, right)
+        if self._owns_page(record.left_pgno):
+            self._rebuild_model(record.left_pgno, left)
+        if self._owns_page(record.right_pgno):
+            self._rebuild_model(record.right_pgno, right)
 
     def _parent_insert(self, record: CLogRecord) -> None:
         parent = self.index_models.get(record.parent_pgno)
@@ -823,6 +1039,8 @@ class _LogScan:
 
     def _on_read_hash(self, record: CLogRecord) -> None:
         if not self.hash_on_read:
+            return
+        if not self._owns_page(record.pgno):
             return
         self.report.read_hashes_checked += 1
         if record.is_index:
@@ -848,9 +1066,12 @@ class _LogScan:
                             "page tampering", pgno=record.pgno)
 
     def _on_shredded(self, record: CLogRecord) -> None:
+        if not self._owns_page(record.pgno):
+            return
         nid = (record.relation_id, record.key, True, record.start)
         self.shredded.append((nid, record.tuple_bytes, record.timestamp,
                               record))
+        self.shredded_order.append(self._idx)
         self.shredded_ids.add(nid)
 
     def _on_start_recovery(self, record: CLogRecord) -> None:
@@ -858,6 +1079,8 @@ class _LogScan:
         self.recovery_times.append(record.timestamp)
 
     def _on_page_reset(self, record: CLogRecord) -> None:
+        if not self._owns_page(record.pgno):
+            return
         if not self._saw_recovery:
             self.report.add("reset-outside-recovery",
                             "PAGE_RESET with no preceding START_RECOVERY",
@@ -879,6 +1102,8 @@ class _LogScan:
         self._closed = True
 
     def _on_migrate(self, record: CLogRecord) -> None:
+        if not self._owns_page(record.pgno):
+            return
         if record.hist_ref:
             self.migrate_refs.add(record.hist_ref)
         if record.key:
@@ -897,6 +1122,44 @@ class _LogScan:
             self.migrated_ids.add(nid)
             if model is not None:
                 model.pop(nid, None)
+
+
+def validate_undos(undos: List[Tuple[CLogRecord, TupleVersion, NormId]],
+                   commit_map: Dict[int, int], aborted: Set[int],
+                   shredded_ids: Set[NormId],
+                   report: AuditReport) -> None:
+    """End-of-scan validation of deferred UNDO records.
+
+    Identities are re-resolved against the *final* commit map, since a
+    commit's STAMP_TRANS may trail its tuples' page flushes.  Shared by
+    the serial scan's :meth:`_LogScan.finish` and the parallel
+    coordinator, which calls it once over the merged slices — the UNDO
+    and the SHREDDED record that explains it may live on pages owned by
+    different slices.
+    """
+    for record, version, _ in undos:
+        if version.stamped:
+            nid: NormId = (version.relation_id, version.key, True,
+                           version.start)
+        else:
+            commit_time = commit_map.get(version.start)
+            if commit_time is not None:
+                nid = (version.relation_id, version.key, True,
+                       commit_time)
+            else:
+                nid = (version.relation_id, version.key, False,
+                       version.start)
+        if nid[2]:
+            if nid not in shredded_ids:
+                report.add(
+                    "undo-unexplained",
+                    f"UNDO of committed version {nid!r} with no "
+                    "SHREDDED record", pgno=record.pgno)
+        elif version.start not in aborted:
+            report.add(
+                "undo-unexplained",
+                f"UNDO for txn {version.start} which never aborted",
+                pgno=record.pgno)
 
 
 # --------------------------------------------------------------------------

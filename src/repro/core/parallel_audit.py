@@ -1,0 +1,860 @@
+"""Partitioned, resumable audit engine (Section VI audit cost).
+
+The paper's headline audit expense is the two big sequential passes: the
+final-state page scan establishing ``Df`` and the forward replay of the
+compliance log ``L``.  Both are embarrassingly parallel *because* the
+completeness condition ``Df = Ds ∪ L`` is checked with the commutative
+ADD-HASH: any partition of the tuple multiset hashes to partial digests
+whose :meth:`~repro.crypto.AddHash.union` equals the digest of the whole,
+so the order in which partitions complete cannot affect the verdict.
+
+:class:`ParallelAuditor` partitions the work across a ``multiprocessing``
+worker pool:
+
+* the **final-state scan** by contiguous page ranges — each worker reads
+  its chunk of ``data.db`` directly from disk (the audit quiesce flushed
+  every dirty page first) and returns the chunk's findings, tuple
+  occurrences, catalog rows, and a partial ADD-HASH;
+* the **tree checks** one relation per task, after the chunk barrier
+  (the catalog roots come out of the chunk scan);
+* the **log scan** by page ownership — slice *i* of *n* owns the pages
+  with ``pgno % n == i``.  Every slice streams the whole log so its
+  commit-map timeline matches the serial scan at every record position
+  (a READ_HASH resolves transaction ids as of the read, not the final
+  state), but fully decodes only records whose pages it owns; unowned
+  page-keyed records are skipped after a cheap fixed-header peek
+  (:func:`repro.core.records.peek_frame`).
+
+The coordinator merges worker results back into exactly the serial
+auditor's state, so every check phase — and the resulting
+:class:`~repro.core.audit.AuditReport` — is content-identical to the
+serial run (compare with :meth:`AuditReport.comparable`).
+
+Progress is checkpointed at task granularity: completed task results are
+pickled to ``audit-checkpoint.bin`` under the database directory every
+``checkpoint_every`` completions, so an interrupted audit re-run with
+``resume=True`` replays the finished tasks from the checkpoint instead
+of recomputing them.  A fingerprint (epoch, mode, file sizes, partition
+shape) guards against resuming onto a different database state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import struct
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Set,
+                    Tuple, TypeVar, cast)
+
+from ..common.config import ComplianceMode
+from ..common.errors import (AuditError, ComplianceLogError,
+                             PageFormatError, PageNotFoundError,
+                             WormFileNotFoundError)
+from ..crypto import AddHash, AuditorKey
+from ..storage.page import LEAF, Page
+from ..storage.record import TupleVersion
+from ..temporal.catalog import CATALOG_RELATION_ID, CATALOG_SCHEMA
+from ..btree.integrity import check_leaf_entries, check_tree
+from ..worm.server import WormServer
+from .audit import (AuditReport, Auditor, Finding, NormId, ScanState,
+                    _FinalState, _LogScan, validate_undos)
+from .records import CLogRecord, CLogType, peek_frame
+from .snapshot import Snapshot, load_snapshot
+
+_LEN = struct.Struct("<I")
+_STREAM_CHUNK = 256 * 1024
+
+#: record types a slice may skip (without full decode) when it does not
+#: own ``record.pgno``; control records are never skipped
+_SKIP_BY_PGNO = frozenset({
+    CLogType.NEW_TUPLE, CLogType.UNDO, CLogType.READ_HASH,
+    CLogType.SHREDDED, CLogType.MIGRATE, CLogType.PAGE_RESET,
+})
+
+_R = TypeVar("_R")
+
+
+# --------------------------------------------------------------------------
+# Worker-process environment
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerEnv:
+    """Everything a worker needs, shipped once at pool initialisation."""
+
+    data_path: str
+    page_size: int
+    page_count: int
+    io_delay: float
+    mode: ComplianceMode
+    epoch: int
+    key: AuditorKey
+    worm_root: str
+    #: buffered (not-yet-durable) tails of WORM files, by name — workers
+    #: read durable bytes straight from disk and splice these on top
+    overlays: Dict[str, bytes]
+    log_file: str
+    log_disk_size: int
+    log_total_size: int
+
+    def log_tail(self) -> bytes:
+        """The compliance log's buffered (not-yet-durable) suffix."""
+        return self.overlays.get(self.log_file, b"")
+
+
+class _WormReader:
+    """Read-only WORM access for worker processes.
+
+    Mirrors :meth:`WormServer.read` — durable prefix from the volume
+    directory plus the coordinator-shipped buffered tail — without the
+    server's metadata journal, so workers can never mutate durability
+    state.  Only the methods the audit scan needs are provided.
+    """
+
+    def __init__(self, root: Path, overlays: Dict[str, bytes]) -> None:
+        self._root = root
+        self._overlays = overlays
+
+    def _extent(self, name: str) -> Tuple[Path, int, bytes]:
+        path = self._root / name
+        tail = self._overlays.get(name, b"")
+        disk = path.stat().st_size if path.exists() else 0
+        if disk == 0 and not tail and not path.exists():
+            raise WormFileNotFoundError(f"no WORM file named {name!r}")
+        return path, disk, tail
+
+    def read(self, name: str, offset: int = 0,
+             length: Optional[int] = None) -> bytes:
+        path, disk, tail = self._extent(name)
+        total = disk + len(tail)
+        offset = max(0, offset)
+        end = total if length is None \
+            else min(offset + max(0, length), total)
+        if offset >= end:
+            return b""
+        parts: List[bytes] = []
+        if offset < disk:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                parts.append(handle.read(min(end, disk) - offset))
+        if end > disk:
+            parts.append(tail[max(0, offset - disk):end - disk])
+        return b"".join(parts)
+
+    def exists(self, name: str) -> bool:
+        return (self._root / name).exists() or name in self._overlays
+
+
+class _DbShim:
+    """The minimal database surface :class:`_LogScan` consumes."""
+
+    def __init__(self, mode: ComplianceMode, worm: _WormReader) -> None:
+        self.mode = mode
+        self.worm = worm
+        self.clog = None
+
+
+class _LogStream:
+    """Frame-by-frame pass over L from disk plus the buffered tail.
+
+    Chunked exactly like :meth:`ComplianceLog.records` so a truncated
+    log raises the identical ``truncated record frame`` error at the
+    identical position in every slice and in the serial scan.
+    """
+
+    def __init__(self, path: Path, disk_size: int, tail: bytes) -> None:
+        self._path = path
+        self._disk_size = disk_size
+        self._tail = tail
+        self._total = disk_size + len(tail)
+
+    def _read(self, offset: int, length: int) -> bytes:
+        end = min(offset + length, self._total)
+        if offset >= end:
+            return b""
+        parts: List[bytes] = []
+        disk = self._disk_size
+        if offset < disk:
+            with open(self._path, "rb") as handle:
+                handle.seek(offset)
+                parts.append(handle.read(min(end, disk) - offset))
+        if end > disk:
+            parts.append(self._tail[max(0, offset - disk):end - disk])
+        return b"".join(parts)
+
+    def frames(self) -> Iterator[Tuple[bytes, int]]:
+        """Yield ``(buffer, cursor)`` with one whole frame buffered.
+
+        ``cursor`` points at the frame's u32 length prefix, so callers
+        can either :func:`peek_frame` at ``cursor + 4`` or fully decode
+        with :meth:`CLogRecord.from_bytes`.
+        """
+        total = self._total
+        buf = b""
+        base = 0          # absolute offset of buf[0] in L
+        cursor = 0        # parse position within buf
+        fetched = 0       # bytes read so far
+        while base + cursor < total:
+            while True:   # ensure one whole frame is buffered
+                avail = len(buf) - cursor
+                if avail >= _LEN.size:
+                    (length,) = _LEN.unpack_from(buf, cursor)
+                    if avail >= _LEN.size + length:
+                        break
+                if fetched >= total:
+                    raise ComplianceLogError("truncated record frame")
+                chunk = self._read(fetched, _STREAM_CHUNK)
+                if not chunk:
+                    raise ComplianceLogError("truncated record frame")
+                fetched += len(chunk)
+                if cursor:
+                    buf = buf[cursor:]
+                    base += cursor
+                    cursor = 0
+                buf = buf + chunk if buf else chunk
+            yield buf, cursor
+            cursor += _LEN.size + length
+
+
+class _WorkerState:
+    """Per-process lazily built handles (data file, WORM reader,
+    snapshot) shared by every task the worker executes."""
+
+    def __init__(self, env: _WorkerEnv) -> None:
+        self.env = env
+        self._file = open(env.data_path, "rb")
+        self.worm = _WormReader(Path(env.worm_root), env.overlays)
+        self.log_path = Path(env.worm_root) / env.log_file
+        self._snapshot: Optional[Snapshot] = None
+
+    def read_page(self, pgno: int, charge_delay: bool = True) -> bytes:
+        """Replicates :meth:`Pager.read_raw` semantics and simulated
+        I/O cost.
+
+        The delay is served with ``time.sleep`` rather than the pager's
+        calibrated spin: a worker blocked on (simulated) I/O must yield
+        the core to its siblings, exactly like real blocking disk reads
+        — overlapping that latency across partitions is the property the
+        partitioned scan exploits.  (The pager spins because sub-ms
+        determinism matters for single-process transaction benchmarks;
+        each audit read still costs its full latency on the issuing
+        worker's timeline either way.)
+
+        ``charge_delay=False`` models a shared-buffer-pool hit: the
+        serial auditor fetches every page exactly once into its scan
+        cache and the tree walk rides on those cached pages, so a
+        worker re-reading a page the chunk scan already fetched charges
+        no additional device latency — only the scan itself pays.
+        """
+        env = self.env
+        if not 0 <= pgno < env.page_count:
+            raise PageNotFoundError(
+                f"page {pgno} out of range (file has {env.page_count})")
+        if charge_delay and env.io_delay:
+            time.sleep(env.io_delay)
+        self._file.seek(pgno * env.page_size)
+        raw = self._file.read(env.page_size)
+        if len(raw) != env.page_size:
+            raise PageNotFoundError(f"short read of page {pgno}")
+        return raw
+
+    def snapshot(self) -> Snapshot:
+        if self._snapshot is None:
+            self._snapshot = load_snapshot(
+                cast(WormServer, self.worm), self.env.key, self.env.epoch)
+        return self._snapshot
+
+    def close(self) -> None:
+        self._file.close()
+
+
+_ENV: Optional[_WorkerEnv] = None
+_STATE: Optional[_WorkerState] = None
+
+
+def _init_worker(env: Optional[_WorkerEnv]) -> None:
+    """Pool initializer: (re)bind this process's audit environment."""
+    global _ENV, _STATE
+    if _STATE is not None:
+        _STATE.close()
+    _ENV = env
+    _STATE = None
+
+
+def _state() -> _WorkerState:
+    global _STATE
+    if _STATE is None:
+        if _ENV is None:
+            raise AuditError("audit worker used before initialisation")
+        _STATE = _WorkerState(_ENV)
+    return _STATE
+
+
+# --------------------------------------------------------------------------
+# Task result shapes (pickled worker → coordinator, and checkpointed)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _FinalChunkResult:
+    """One page-range chunk of the final-state scan."""
+
+    lo: int
+    hi: int
+    pages: int
+    findings: List[Finding]
+    #: every stamped version in page order: (nid, pgno, canonical bytes)
+    #: — the coordinator re-derives duplicate-tuple findings from these
+    occurrences: List[Tuple[NormId, int, bytes]]
+    #: live catalog rows in page order: (relation_id, root_pgno, name)
+    catalog_rows: List[Tuple[int, int, str]]
+    #: ADD-HASH over the chunk-local deduplicated tuple dict
+    partial_hash: AddHash
+
+
+@dataclass
+class _TreeCheckResult:
+    """Index-consistency walk of one relation's tree."""
+
+    relation_id: int
+    root: int
+    findings: List[Finding]
+
+
+@dataclass
+class _LogSliceResult:
+    """One ownership slice of the compliance-log scan.
+
+    List entries are ``(log position, item)`` pairs so the coordinator
+    can merge slices back into exact log order.
+    """
+
+    slice_index: int
+    findings: List[Finding]
+    log_records: int
+    read_hashes: int
+    new_tuples: List[Tuple[int, TupleVersion]]
+    shredded: List[Tuple[int, Tuple[NormId, bytes, int, CLogRecord]]]
+    undos: List[Tuple[int, Tuple[CLogRecord, TupleVersion, NormId]]]
+    migrated_ids: Set[NormId]
+    migrate_refs: Set[str]
+    commit_map: Dict[int, int]
+    aborted: Set[int]
+    stamp_times: List[int]
+    recovery_times: List[int]
+    norm_memo_hits: int
+
+
+# --------------------------------------------------------------------------
+# Worker task functions (module-level: pickled by reference)
+# --------------------------------------------------------------------------
+
+
+def _final_chunk_task(lo: int, hi: int) -> _FinalChunkResult:
+    """Scan pages ``[lo, hi)`` of the final state.
+
+    Byte-for-byte the serial :meth:`Auditor._scan_final_state` page
+    loop, except duplicate-tuple findings are *not* emitted here — a
+    duplicate may span chunks, so the coordinator re-derives them from
+    the occurrence lists in global page order.
+    """
+    state = _state()
+    findings: List[Finding] = []
+    occurrences: List[Tuple[NormId, int, bytes]] = []
+    rows: List[Tuple[int, int, str]] = []
+    chunk_tuples: Dict[NormId, bytes] = {}
+    for pgno in range(lo, hi):
+        try:
+            page = Page.from_bytes(state.read_page(pgno))
+        except PageFormatError as exc:
+            findings.append(Finding("page-unparseable", str(exc),
+                                    pgno=pgno))
+            continue
+        if page.ptype != LEAF or page.historical:
+            continue
+        for issue in check_leaf_entries(page):
+            findings.append(Finding(issue.kind, issue.detail,
+                                    pgno=issue.pgno))
+        for version in page.entries:
+            if not version.stamped:
+                findings.append(Finding(
+                    "unstamped-at-audit",
+                    "tuple still holds a transaction id after quiesce",
+                    pgno=pgno))
+                continue
+            nid: NormId = (version.relation_id, version.key, True,
+                           version.start)
+            raw = version.to_bytes()
+            occurrences.append((nid, pgno, raw))
+            chunk_tuples[nid] = raw
+            if version.relation_id == CATALOG_RELATION_ID and \
+                    not version.eol:
+                row = CATALOG_SCHEMA.decode_payload(version.payload)
+                rows.append((row["relation_id"], row["root_pgno"],
+                             row["name"]))
+    partial = AddHash(chunk_tuples.values())  # repro-lint: disable=replay-determinism -- ADD-HASH is commutative; iteration order cannot change the digest
+    return _FinalChunkResult(lo, hi, hi - lo, findings, occurrences,
+                             rows, partial)
+
+
+def _tree_check_task(relation_id: int, root: int) -> _TreeCheckResult:
+    """Index-consistency check of one relation (serial check replica).
+
+    Every page a tree walk touches was already fetched — and its device
+    latency charged — by the final-state chunk scan, so these reads are
+    buffer-pool hits (``charge_delay=False``), exactly as they are for
+    the serial auditor's shared scan cache.
+    """
+    state = _state()
+    cache: Dict[int, Page] = {}
+
+    def fetch(pgno: int) -> Page:
+        page = cache.get(pgno)
+        if page is None:
+            page = Page.from_bytes(
+                state.read_page(pgno, charge_delay=False))
+            cache[pgno] = page
+        return page
+
+    findings: List[Finding] = []
+    try:
+        for issue in check_tree(fetch, root):
+            findings.append(Finding(
+                issue.kind, f"relation {relation_id}: {issue.detail}",
+                pgno=issue.pgno))
+    except PageFormatError as exc:
+        findings.append(Finding(
+            "tree-unreadable", f"relation {relation_id}: {exc}",
+            pgno=root))
+    return _TreeCheckResult(relation_id, root, findings)
+
+
+def _log_slice_task(slice_index: int, slice_count: int
+                    ) -> _LogSliceResult:
+    """Run one ownership slice of the compliance-log scan.
+
+    Drives the shared :class:`_LogScan` record handlers over every log
+    frame, peek-skipping records owned by other slices.  End-of-scan
+    UNDO validation is *not* run here — the SHREDDED record explaining
+    an UNDO may live on another slice, so the coordinator validates the
+    merged state once.
+    """
+    env = _ENV
+    if env is None:
+        raise AuditError("audit worker used before initialisation")
+    state = _state()
+    report = AuditReport(epoch=env.epoch)
+    hash_on_read = env.mode is ComplianceMode.HASH_ON_READ
+    snapshot = state.snapshot() if hash_on_read else None
+    scan = _LogScan(_DbShim(env.mode, state.worm), snapshot, report,
+                    slice_index=slice_index, slice_count=slice_count)
+    primary = slice_index == 0
+    stream = _LogStream(state.log_path, env.log_disk_size,
+                        env.log_tail())
+    owns = scan._owns_page
+    try:
+        for idx, (buf, cursor) in enumerate(stream.frames()):
+            if primary:
+                report.log_records += 1
+            rtype_i, pgno, left, right, parent = \
+                peek_frame(buf, cursor + _LEN.size)
+            try:
+                rtype = CLogType(rtype_i)
+            except ValueError:
+                # unknown record type: decode fully so the failure is
+                # the serial scan's failure
+                rtype = None
+            if rtype is not None and slice_count > 1:
+                if rtype in _SKIP_BY_PGNO:
+                    skip = not owns(pgno)
+                elif rtype is CLogType.PAGE_SPLIT:
+                    skip = not (owns(pgno) or owns(left) or
+                                owns(right) or owns(parent))
+                else:
+                    skip = False
+                if skip:
+                    scan.note_skipped(idx, rtype.name)
+                    continue
+            record, _ = CLogRecord.from_bytes(buf, cursor)
+            scan.dispatch(idx, record)
+    except ComplianceLogError as exc:
+        # every slice stops at the same frame; one voice reports it
+        if primary:
+            report.add("log-corrupt", str(exc))
+    return _LogSliceResult(
+        slice_index=slice_index,
+        findings=report.findings,
+        log_records=report.log_records,
+        read_hashes=report.read_hashes_checked,
+        new_tuples=list(zip(scan.new_tuple_order, scan.new_tuples)),
+        shredded=list(zip(scan.shredded_order, scan.shredded)),
+        undos=list(zip(scan.undo_order, scan.undos)),
+        migrated_ids=scan.migrated_ids,
+        migrate_refs=scan.migrate_refs,
+        commit_map=scan.commit_map,
+        aborted=scan.aborted,
+        stamp_times=scan.stamp_times,
+        recovery_times=scan.recovery_times,
+        norm_memo_hits=scan.norm_memo_hits,
+    )
+
+
+# --------------------------------------------------------------------------
+# Checkpointing
+# --------------------------------------------------------------------------
+
+_CHECKPOINT_VERSION = 1
+
+
+class _AuditCheckpoint:
+    """Task-granular audit progress, persisted with atomic replace.
+
+    Keys are stable task identities (``final:lo:hi``, ``tree:rid:root``,
+    ``log:i:n``); values are the pickled task results.  A fingerprint of
+    the audited state (epoch, mode, file sizes, partition shape) guards
+    resume: progress against a different database state is discarded.
+    ``every == 0`` disables persistence entirely (the in-memory map
+    still serves same-run lookups).
+    """
+
+    def __init__(self, path: Path, every: int,
+                 on_flush: Callable[[], object]) -> None:
+        self.path = path
+        self.every = every
+        self._on_flush = on_flush
+        self._fingerprint: Tuple[object, ...] = ()
+        self._results: Dict[str, object] = {}
+        self._pending = 0
+
+    def reset(self, fingerprint: Tuple[object, ...]) -> None:
+        """Start fresh (no resume): forget any on-disk progress."""
+        self._fingerprint = fingerprint
+        self._results = {}
+        self._pending = 0
+        self.path.unlink(missing_ok=True)
+
+    def try_resume(self, fingerprint: Tuple[object, ...]) -> int:
+        """Load prior progress if it matches ``fingerprint``.
+
+        Returns the number of resumable task results.
+        """
+        self._fingerprint = fingerprint
+        self._results = {}
+        self._pending = 0
+        try:
+            with open(self.path, "rb") as handle:
+                saved = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ValueError):
+            return 0
+        if not isinstance(saved, dict) or \
+                saved.get("version") != _CHECKPOINT_VERSION or \
+                saved.get("fingerprint") != fingerprint:
+            return 0
+        results = saved.get("results")
+        if isinstance(results, dict):
+            self._results = results
+        return len(self._results)
+
+    def lookup(self, key: str) -> Tuple[bool, object]:
+        if key in self._results:
+            return True, self._results[key]
+        return False, None
+
+    def record(self, key: str, value: object) -> None:
+        self._results[key] = value
+        self._pending += 1
+        if self.every and self._pending >= self.every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Persist progress (atomic tmp + replace); no-op when disabled
+        or when nothing changed since the last write."""
+        if not self.every or not self._pending:
+            return
+        tmp = self.path.with_suffix(".tmp")
+        blob = pickle.dumps({"version": _CHECKPOINT_VERSION,
+                             "fingerprint": self._fingerprint,
+                             "results": self._results})
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, self.path)
+        self._pending = 0
+        self._on_flush()
+
+    def discard(self) -> None:
+        """Audit completed: progress is no longer needed."""
+        self._results = {}
+        self._pending = 0
+        self.path.unlink(missing_ok=True)
+
+
+# --------------------------------------------------------------------------
+# The coordinator
+# --------------------------------------------------------------------------
+
+
+class ParallelAuditor(Auditor):
+    """Partitioned :class:`Auditor`: same report, many processes.
+
+    ``workers=1`` runs the partitioned algorithm in-process (no pool) —
+    useful for testing the partition/merge logic and as the resume path
+    on a single-core box.  ``workers>1`` forks a ``multiprocessing``
+    pool; each worker reads the quiesced database files directly.
+    """
+
+    def __init__(self, db: Any, key: Optional[AuditorKey] = None, *,
+                 workers: Optional[int] = None,
+                 chunk_pages: Optional[int] = None,
+                 log_slices: Optional[int] = None,
+                 checkpoint_every: Optional[int] = None,
+                 resume: bool = False,
+                 checkpoint_path: Optional[Path] = None) -> None:
+        super().__init__(db, key)
+        compliance = db.config.compliance
+        self._workers: int = workers if workers is not None \
+            else max(1, compliance.audit_workers)
+        if self._workers < 1:
+            raise AuditError("audit workers must be >= 1")
+        self._chunk_pages: int = chunk_pages if chunk_pages is not None \
+            else compliance.audit_chunk_pages
+        if self._chunk_pages < 1:
+            raise AuditError("audit chunk_pages must be >= 1")
+        slices = log_slices if log_slices is not None \
+            else compliance.audit_log_slices
+        self._log_slices: int = slices if slices > 0 else self._workers
+        every = checkpoint_every if checkpoint_every is not None \
+            else compliance.audit_checkpoint_every
+        path = checkpoint_path if checkpoint_path is not None \
+            else Path(db.path) / "audit-checkpoint.bin"
+        self._resume = resume
+        registry = db.obs.registry
+        self._g_workers = registry.gauge(
+            "audit_workers", help="worker processes of the running "
+            "partitioned audit")
+        self._c_pages = registry.counter(
+            "audit_pages_scanned_total",
+            help="final-state pages scanned by partitioned audits")
+        self._c_ckpt_writes = registry.counter(
+            "audit_checkpoint_writes_total",
+            help="audit progress checkpoints persisted")
+        self._c_tasks_executed = registry.counter(
+            "audit_tasks_total", help="partitioned audit tasks by how "
+            "their result was obtained", source="executed")
+        self._c_tasks_resumed = registry.counter(
+            "audit_tasks_total", help="partitioned audit tasks by how "
+            "their result was obtained", source="resumed")
+        self._ckpt = _AuditCheckpoint(path, every,
+                                      on_flush=self._c_ckpt_writes.inc)
+        self._pool: Optional[Any] = None
+        self._tasks_total = 0
+        self._tasks_resumed = 0
+
+    # -- environment / lifecycle ---------------------------------------------
+
+    def _build_env(self) -> _WorkerEnv:
+        db = self._db
+        pager = db.engine.pager
+        clog = db.clog
+        assert clog is not None  # audit() rejects REGULAR mode first
+        overlays = db.worm.buffered_files()
+        log_file: str = clog.name
+        total: int = clog.size()
+        tail = overlays.get(log_file, b"")
+        return _WorkerEnv(
+            data_path=str(pager.path), page_size=pager.page_size,
+            page_count=pager.page_count, io_delay=pager.io_delay,
+            mode=db.mode, epoch=db.epoch, key=self._key,
+            worm_root=str(db.worm.root), overlays=overlays,
+            log_file=log_file, log_disk_size=total - len(tail),
+            log_total_size=total)
+
+    def _fingerprint(self, env: _WorkerEnv) -> Tuple[object, ...]:
+        return (env.epoch, env.mode.value, env.page_count,
+                env.page_size, env.log_total_size, env.log_disk_size,
+                self._chunk_pages, self._log_slices)
+
+    def _run_phases(self, report: AuditReport, rotate: bool) -> None:
+        db = self._db
+        self._tasks_total = 0
+        self._tasks_resumed = 0
+        report.workers = self._workers
+        self._g_workers.set(self._workers)
+        env = self._build_env()
+        fingerprint = self._fingerprint(env)
+        if self._resume:
+            resumable = self._ckpt.try_resume(fingerprint)
+            if resumable:
+                with db.obs.tracer.span("audit.resume",
+                                        tasks=resumable):
+                    pass
+        else:
+            self._ckpt.reset(fingerprint)
+        _init_worker(env)
+        pool: Optional[Any] = None
+        try:
+            if self._workers > 1:
+                context = multiprocessing.get_context("fork")
+                pool = context.Pool(self._workers,
+                                    initializer=_init_worker,
+                                    initargs=(env,))
+            self._pool = pool
+            with db.obs.tracer.span("audit.parallel",
+                                    workers=self._workers,
+                                    log_slices=self._log_slices):
+                super()._run_phases(report, rotate)
+            self._ckpt.discard()
+        finally:
+            self._pool = None
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+            report.tasks_total = self._tasks_total
+            report.tasks_resumed = self._tasks_resumed
+            self._g_workers.set(0)
+            _init_worker(None)
+
+    # -- task execution ------------------------------------------------------
+
+    def _run_tasks(self, fn: Callable[..., _R],
+                   tasks: List[Tuple[str, Tuple[Any, ...]]]) -> List[_R]:
+        """Run ``tasks`` (``(checkpoint key, args)`` pairs) through the
+        pool, reusing checkpointed results; returns results in task
+        order."""
+        out: Dict[int, _R] = {}
+        live: List[Tuple[int, str, Optional[Any], Tuple[Any, ...]]] = []
+        for position, (key, args) in enumerate(tasks):
+            hit, value = self._ckpt.lookup(key)
+            if hit:
+                out[position] = cast(_R, value)
+                self._c_tasks_resumed.inc()
+                self._tasks_resumed += 1
+                continue
+            handle = None if self._pool is None \
+                else self._pool.apply_async(fn, args)
+            live.append((position, key, handle, args))
+        for position, key, handle, args in live:
+            result: _R = fn(*args) if handle is None else handle.get()
+            out[position] = result
+            self._c_tasks_executed.inc()
+            self._ckpt.record(key, result)
+            self._after_task(key, result)
+        self._tasks_total += len(tasks)
+        self._ckpt.flush()
+        return [out[i] for i in range(len(tasks))]
+
+    def _after_task(self, key: str, result: object) -> None:
+        """Hook fired after each freshly executed task (test seam for
+        simulating an interrupt mid-audit)."""
+
+    # -- partitioned phases ---------------------------------------------------
+
+    def _scan_final_state(self, report: AuditReport) -> _FinalState:
+        engine = self._db.engine
+        final = _FinalState()
+        page_count: int = engine.pager.page_count
+        chunk = self._chunk_pages
+        spans = [(lo, min(lo + chunk, page_count))
+                 for lo in range(1, page_count, chunk)]
+        tasks = [(f"final:{lo}:{hi}", (lo, hi)) for lo, hi in spans]
+        with self._db.obs.tracer.span("audit.final.chunks",
+                                      chunks=len(tasks)):
+            results = self._run_tasks(_final_chunk_task, tasks)
+
+        first_chunk_of: Dict[NormId, int] = {}
+        cross_chunk_duplicate = False
+        partial = AddHash()
+        for index, res in enumerate(results):
+            report.pages_scanned += res.pages
+            self._c_pages.inc(res.pages)
+            report.extend(res.findings)
+            for nid, pgno, raw in res.occurrences:
+                if nid in final.tuples:
+                    report.add("duplicate-tuple",
+                               f"version {nid!r} appears on two pages",
+                               pgno=pgno)
+                final.tuples[nid] = raw
+                seen_in = first_chunk_of.setdefault(nid, index)
+                if seen_in != index:
+                    cross_chunk_duplicate = True
+            for relation_id, root_pgno, name in res.catalog_rows:
+                final.roots[relation_id] = root_pgno
+                final.names[relation_id] = name
+                final.root_by_name[name] = relation_id
+            partial = partial.union(res.partial_hash)
+        # the union of per-chunk partial hashes equals the hash of the
+        # deduplicated tuple dict only when no version id spans chunks;
+        # on the (tampering) corner case, fall back to hashing the
+        # merged dict so the digest matches the serial auditor's
+        final.add_hash = None if cross_chunk_duplicate else partial
+        report.final_tuples = len(final.tuples)
+
+        meta = Page.from_bytes(engine.pager.read_raw(0))
+        roots = dict(final.roots)
+        roots[CATALOG_RELATION_ID] = meta.meta["catalog_root"]
+        tree_tasks = [(f"tree:{relation_id}:{root}",
+                       (relation_id, root))
+                      for relation_id, root in sorted(roots.items())]
+        with self._db.obs.tracer.span("audit.final.trees",
+                                      trees=len(tree_tasks)):
+            for tree in self._run_tasks(_tree_check_task, tree_tasks):
+                report.extend(tree.findings)
+        return final
+
+    def _scan_log(self, snapshot: Snapshot,
+                  report: AuditReport) -> ScanState:
+        db = self._db
+        merged = ScanState()
+        merged.hash_on_read = db.mode is ComplianceMode.HASH_ON_READ
+        try:
+            merged.aux_entries = db.clog.aux_entries()
+        except ComplianceLogError as exc:
+            report.add("aux-log", f"stamp index unreadable: {exc}")
+        slices = self._log_slices
+        tasks = [(f"log:{index}:{slices}", (index, slices))
+                 for index in range(slices)]
+        with db.obs.tracer.span("audit.log.slices", slices=slices):
+            results = self._run_tasks(_log_slice_task, tasks)
+
+        new_tuples: List[Tuple[int, TupleVersion]] = []
+        shredded: List[Tuple[int,
+                             Tuple[NormId, bytes, int, CLogRecord]]] = []
+        undos: List[Tuple[int,
+                          Tuple[CLogRecord, TupleVersion, NormId]]] = []
+        memo_hits = 0
+        for res in results:
+            report.extend(res.findings)
+            report.read_hashes_checked += res.read_hashes
+            if res.slice_index == 0:
+                # control state is identical across slices by
+                # construction; take the primary's copy
+                report.log_records += res.log_records
+                merged.commit_map = res.commit_map
+                merged.aborted = res.aborted
+                merged.stamp_times = res.stamp_times
+                merged.recovery_times = res.recovery_times
+            new_tuples.extend(res.new_tuples)
+            shredded.extend(res.shredded)
+            undos.extend(res.undos)
+            merged.migrated_ids |= res.migrated_ids
+            merged.migrate_refs |= res.migrate_refs
+            memo_hits += res.norm_memo_hits
+        new_tuples.sort(key=lambda pair: pair[0])
+        shredded.sort(key=lambda pair: pair[0])
+        undos.sort(key=lambda pair: pair[0])
+        merged.new_tuples = [version for _, version in new_tuples]
+        merged.shredded = [entry for _, entry in shredded]
+        merged.undos = [entry for _, entry in undos]
+        merged.shredded_ids = {entry[0] for entry in merged.shredded}
+        self._db.obs.registry.counter(
+            "audit_norm_memo_hits_total",
+            help="READ-hash replay normalisations served from the "
+            "per-version memo").inc(memo_hits)
+        validate_undos(merged.undos, merged.commit_map, merged.aborted,
+                       merged.shredded_ids, report)
+        return merged

@@ -64,6 +64,29 @@ _U32 = struct.Struct("<I")
 _FLAG_HEARTBEAT = 0x01
 _FLAG_IS_INDEX = 0x02
 
+#: cheap partial decodes used by the partitioned audit's peek-skip path
+_PEEK_PGNO = struct.Struct("<i")
+_PEEK_SPLIT = struct.Struct("<iii")
+#: fixed-header offsets of the peeked fields (see ``_FIXED`` layout)
+_PGNO_OFFSET = 20
+_SPLIT_OFFSET = 40
+
+
+def peek_frame(data: bytes, body_offset: int
+               ) -> Tuple[int, int, int, int, int]:
+    """Cheaply read the routing fields of an already-framed record body.
+
+    Returns ``(rtype, pgno, left_pgno, right_pgno, parent_pgno)`` without
+    materialising a :class:`CLogRecord`.  The caller must have validated
+    the frame (length prefix and body extent) — this reads straight from
+    the fixed header, which every record type serialises in full.
+    """
+    rtype = data[body_offset]
+    (pgno,) = _PEEK_PGNO.unpack_from(data, body_offset + _PGNO_OFFSET)
+    left, right, parent = _PEEK_SPLIT.unpack_from(
+        data, body_offset + _SPLIT_OFFSET)
+    return rtype, pgno, left, right, parent
+
 
 @dataclass
 class CLogRecord:

@@ -1,0 +1,319 @@
+"""The partitioned audit must be indistinguishable from the serial one.
+
+Every test compares :meth:`AuditReport.comparable` between the serial
+:class:`Auditor` and :class:`ParallelAuditor` runs over the *same*
+database — clean and tampered, in both compliant architectures, at
+several worker counts — plus the resume-after-interrupt path and the
+peek-skip fast path's header decoding.
+"""
+
+import pytest
+
+from repro import (Auditor, ComplianceConfig, ComplianceMode, CompliantDB,
+                   DBConfig, EngineConfig, Field, FieldType,
+                   ParallelAuditor, Schema, SimulatedClock)
+from repro.common.errors import AuditError, ConfigError
+from repro.core import Adversary, CLogRecord, CLogType, peek_frame
+from repro.core.audit import Finding
+
+LEDGER = Schema("ledger", [
+    Field("entry_id", FieldType.INT),
+    Field("account", FieldType.STR),
+    Field("amount", FieldType.INT),
+], key_fields=["entry_id"])
+
+WORKER_COUNTS = (1, 2, 3, 4)
+
+
+def make_db(tmp_path, mode=ComplianceMode.LOG_CONSISTENT):
+    config = DBConfig(engine=EngineConfig(page_size=1024, buffer_pages=32),
+                      compliance=ComplianceConfig(mode=mode))
+    db = CompliantDB.create(tmp_path / "db", config,
+                            clock=SimulatedClock())
+    db.create_relation(LEDGER)
+    return db
+
+
+def populate(db, count=40, reads=2):
+    for i in range(count):
+        with db.transaction() as txn:
+            db.insert(txn, "ledger",
+                      {"entry_id": i, "account": "ops", "amount": i * 10})
+    for i in range(0, count, 4):
+        with db.transaction() as txn:
+            db.update(txn, "ledger",
+                      {"entry_id": i, "account": "ops", "amount": -1})
+    # repeated reads: in HASH_ON_READ they append READ_HASH records whose
+    # replay exercises the per-version normalisation memo
+    for _ in range(reads):
+        for i in range(0, count, 3):
+            db.get("ledger", (i,))
+
+
+def parallel(db, workers, **kwargs):
+    kwargs.setdefault("chunk_pages", 5)
+    kwargs.setdefault("log_slices", 3)
+    return ParallelAuditor(db, workers=workers, **kwargs)
+
+
+@pytest.fixture(params=[ComplianceMode.LOG_CONSISTENT,
+                        ComplianceMode.HASH_ON_READ])
+def populated(tmp_path, request):
+    db = make_db(tmp_path, mode=request.param)
+    populate(db)
+    yield db
+    db.close()
+
+
+class TestPeekFrame:
+    def records(self):
+        return [
+            CLogRecord(CLogType.NEW_TUPLE, pgno=7, tuple_bytes=b"t" * 40),
+            CLogRecord(CLogType.STAMP_TRANS, txn_id=3, commit_time=99),
+            CLogRecord(CLogType.PAGE_SPLIT, pgno=4, left_pgno=4,
+                       right_pgno=9, parent_pgno=2, sep_key=b"k",
+                       left_content=[b"a"], right_content=[b"b", b"c"]),
+            CLogRecord(CLogType.READ_HASH, pgno=-1, page_hash=b"h" * 16),
+            CLogRecord(CLogType.CLOSE_EPOCH, timestamp=123),
+        ]
+
+    def test_peek_matches_full_decode(self):
+        for record in self.records():
+            framed = record.to_bytes()
+            rtype, pgno, left, right, parent = peek_frame(framed, 4)
+            assert rtype == int(record.rtype)
+            assert pgno == record.pgno
+            assert (left, right, parent) == (
+                record.left_pgno, record.right_pgno, record.parent_pgno)
+
+    def test_peek_at_offset_inside_stream(self):
+        blob = b"".join(r.to_bytes() for r in self.records())
+        offset = 0
+        for record in self.records():
+            rtype, pgno, _, _, _ = peek_frame(blob, offset + 4)
+            assert rtype == int(record.rtype)
+            assert pgno == record.pgno
+            record2, offset = CLogRecord.from_bytes(blob, offset)
+            assert record2.rtype == record.rtype
+
+
+class TestCleanEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_clean_report_identical(self, populated, workers):
+        serial = Auditor(populated).audit(rotate=False)
+        report = parallel(populated, workers).audit(rotate=False)
+        assert report.ok
+        assert report.comparable() == serial.comparable()
+        assert report.expected_digest == serial.expected_digest != ""
+        assert report.workers == workers
+
+    def test_rotation_still_works(self, populated):
+        before = populated.epoch
+        report = parallel(populated, 2).audit()
+        assert report.ok and report.new_epoch == before + 1
+        # the next epoch audits cleanly too
+        follow_up = parallel(populated, 2).audit(rotate=False)
+        assert follow_up.ok
+
+    def test_odd_partition_shapes(self, populated):
+        serial = Auditor(populated).audit(rotate=False)
+        for chunk_pages, log_slices in ((1, 1), (3, 7), (1000, 2)):
+            report = ParallelAuditor(
+                populated, workers=2, chunk_pages=chunk_pages,
+                log_slices=log_slices).audit(rotate=False)
+            assert report.comparable() == serial.comparable()
+
+    def test_hr_replay_memo_is_hit(self, tmp_path):
+        db = make_db(tmp_path, mode=ComplianceMode.HASH_ON_READ)
+        populate(db, reads=3)
+        parallel(db, 1).audit(rotate=False)
+        counters = db.metrics()["counters"]
+        assert counters["audit_norm_memo_hits_total"] > 0
+        db.close()
+
+
+class TestTamperingEquivalence:
+    """Injected tampering must be reported identically by every worker
+    count — same findings, same digests, same verdict."""
+
+    def attack(self, db, mala, name):
+        if name == "shred":
+            mala.shred_tuple("ledger", (7,))
+        elif name == "alter":
+            mala.alter_tuple("ledger", (5,),
+                             {"entry_id": 5, "account": "ops",
+                              "amount": 10 ** 6})
+        elif name == "spurious-abort":
+            mala.append_spurious_abort(txn_id=2)
+        elif name == "backdate":
+            mala.backdate_insert(
+                "ledger", {"entry_id": 990, "account": "x", "amount": 1},
+                start=5)
+        else:  # pragma: no cover - test bug
+            raise AssertionError(name)
+
+    @pytest.mark.parametrize("name",
+                             ["shred", "alter", "spurious-abort",
+                              "backdate"])
+    def test_attack_detected_identically(self, populated, name):
+        mala = Adversary(populated)
+        mala.settle()
+        self.attack(populated, mala, name)
+        serial = Auditor(populated).audit(rotate=False)
+        assert not serial.ok
+        for workers in WORKER_COUNTS:
+            report = parallel(populated, workers).audit(rotate=False)
+            assert not report.ok
+            assert report.comparable() == serial.comparable(), \
+                (name, workers)
+
+    def test_state_reversion_detected_identically(self, tmp_path):
+        db = make_db(tmp_path, mode=ComplianceMode.HASH_ON_READ)
+        populate(db)
+        mala = Adversary(db)
+        mala.settle()
+        handle = mala.begin_state_reversion(
+            "ledger", (6,),
+            {"entry_id": 6, "account": "ops", "amount": 777})
+        db.get("ledger", (6,))
+        handle.revert()
+        serial = Auditor(db).audit(rotate=False)
+        assert "read-hash-mismatch" in serial.codes()
+        for workers in (1, 2, 4):
+            report = parallel(db, workers).audit(rotate=False)
+            assert report.comparable() == serial.comparable()
+        db.close()
+
+
+class TestDeterministicOrdering:
+    def test_findings_sorted_regardless_of_discovery(self, populated):
+        mala = Adversary(populated)
+        mala.settle()
+        mala.shred_tuple("ledger", (7,))
+        mala.append_spurious_abort(txn_id=2)
+        for report in (Auditor(populated).audit(rotate=False),
+                       parallel(populated, 3).audit(rotate=False)):
+            keys = [f.sort_key() for f in report.findings]
+            assert keys == sorted(keys)
+            assert len(report.findings) >= 2
+
+    def test_sort_key_shape(self):
+        finding = Finding("code", "detail", pgno=None, phase="log")
+        assert finding.sort_key() == ("log", "code", "detail", -1)
+
+
+class _Interrupted(RuntimeError):
+    pass
+
+
+class TestResume:
+    def test_resume_after_interrupt(self, populated, tmp_path):
+        serial = Auditor(populated).audit(rotate=False)
+        ckpt = tmp_path / "ckpt.bin"
+
+        auditor = parallel(populated, 2, checkpoint_every=1,
+                           checkpoint_path=ckpt)
+        done = []
+
+        def boom(key, result):
+            done.append(key)
+            if len(done) >= 4:
+                raise _Interrupted(key)
+
+        auditor._after_task = boom
+        with pytest.raises(_Interrupted):
+            auditor.audit(rotate=False)
+        assert ckpt.exists()
+
+        resumed_auditor = parallel(populated, 2, checkpoint_every=1,
+                                   checkpoint_path=ckpt, resume=True)
+        report = resumed_auditor.audit(rotate=False)
+        assert report.comparable() == serial.comparable()
+        assert report.tasks_resumed >= 4
+        assert report.tasks_resumed < report.tasks_total
+        # a finished audit discards its progress
+        assert not ckpt.exists()
+
+    def test_resume_ignores_stale_checkpoint(self, populated, tmp_path):
+        ckpt = tmp_path / "ckpt.bin"
+        ckpt.write_bytes(b"not a checkpoint")
+        serial = Auditor(populated).audit(rotate=False)
+        report = parallel(populated, 2, checkpoint_every=1,
+                          checkpoint_path=ckpt,
+                          resume=True).audit(rotate=False)
+        assert report.comparable() == serial.comparable()
+        assert report.tasks_resumed == 0
+
+    def test_fresh_run_discards_previous_progress(self, populated,
+                                                  tmp_path):
+        ckpt = tmp_path / "ckpt.bin"
+        auditor = parallel(populated, 1, checkpoint_every=1,
+                           checkpoint_path=ckpt)
+        done = []
+
+        def boom(key, result):
+            done.append(key)
+            if len(done) >= 2:
+                raise _Interrupted(key)
+
+        auditor._after_task = boom
+        with pytest.raises(_Interrupted):
+            auditor.audit(rotate=False)
+        assert ckpt.exists()
+        # resume=False (the default) must not reuse the stale file
+        report = parallel(populated, 1, checkpoint_every=1,
+                          checkpoint_path=ckpt).audit(rotate=False)
+        assert report.tasks_resumed == 0
+        assert report.ok
+
+
+class TestConfigAndGuards:
+    def test_regular_mode_rejected(self, tmp_path):
+        db = CompliantDB.create(
+            tmp_path / "db",
+            DBConfig.for_mode(ComplianceMode.REGULAR),
+            clock=SimulatedClock())
+        with pytest.raises(AuditError):
+            ParallelAuditor(db, workers=2).audit()
+        db.close()
+
+    def test_bad_worker_count_rejected(self, populated):
+        with pytest.raises(AuditError):
+            ParallelAuditor(populated, workers=0)
+
+    def test_config_knobs_validate(self):
+        with pytest.raises(ConfigError):
+            ComplianceConfig(audit_workers=-1).validate()
+        with pytest.raises(ConfigError):
+            ComplianceConfig(audit_chunk_pages=0).validate()
+        with pytest.raises(ConfigError):
+            ComplianceConfig(audit_log_slices=-2).validate()
+        with pytest.raises(ConfigError):
+            ComplianceConfig(audit_checkpoint_every=-1).validate()
+
+    def test_config_defaults_feed_auditor(self, tmp_path):
+        config = DBConfig(
+            engine=EngineConfig(page_size=1024, buffer_pages=32),
+            compliance=ComplianceConfig(audit_workers=2,
+                                        audit_chunk_pages=9,
+                                        audit_log_slices=5))
+        db = CompliantDB.create(tmp_path / "db", config,
+                                clock=SimulatedClock())
+        db.create_relation(LEDGER)
+        populate(db, count=10, reads=0)
+        auditor = ParallelAuditor(db)
+        assert auditor._workers == 2
+        assert auditor._chunk_pages == 9
+        assert auditor._log_slices == 5
+        report = auditor.audit(rotate=False)
+        assert report.ok and report.workers == 2
+        db.close()
+
+    def test_metrics_emitted(self, populated):
+        report = parallel(populated, 2).audit(rotate=False)
+        counters = populated.metrics()["counters"]
+        assert counters["audit_pages_scanned_total"] == \
+            report.pages_scanned
+        executed = counters.get(
+            'audit_tasks_total{source="executed"}', 0)
+        assert executed == report.tasks_total - report.tasks_resumed
