@@ -2,20 +2,30 @@
 """Standalone Fig 3(a) benchmark runner for perf tracking across PRs.
 
 Executes the three-architecture TPC-C sweep (REGULAR / LOG_CONSISTENT /
-HASH_ON_READ) at a fixed small scale and writes a JSON report — the
-``--out`` file, ``BENCH_PR5.json`` in the repository root by default —
-with txn/s and compliance overhead percentages per mode, a full
-``repro.obs`` metrics snapshot and trace span counts per mode, an
-instrumentation-overhead measurement (enabled vs no-op registry), and
-an audit-scaling section (serial auditor vs the partitioned auditor at
-several worker counts, gated on report equality).
+HASH_ON_READ) and writes a JSON report — the ``--out`` file,
+``BENCH_PR6.json`` in the repository root by default — with txn/s and
+compliance overhead percentages per mode, per-mode SHA-512 work and
+digest-pool counters, a full ``repro.obs`` metrics snapshot per mode,
+an instrumentation-overhead measurement (enabled vs no-op registry), a
+digest-equivalence gate (pooled vs inline digests must produce the
+identical audit report), and an audit-scaling section (serial auditor
+vs the partitioned auditor at several worker counts, gated on report
+equality).
+
+The sweep itself is interleaved best-of-N: each attempt cycles through
+all three modes on freshly built databases and the best attempt per
+mode is kept, so CPU-frequency drift and scheduler noise cannot
+masquerade as an overhead change (single-shot sweeps swung the
+log-consistent overhead 16% → 7% → 20.5% across PRs with no hot-path
+change).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py \
         [--txns N] [--out FILE] [--baseline FILE] [--label NAME] \
         [--quick] [--max-overhead PCT] [--audit-only] \
-        [--audit-workers N,N,...]
+        [--audit-workers N,N,...] [--check-baseline FILE] \
+        [--tolerance PCT]
 
 ``--baseline`` embeds a previously captured report under ``"baseline"``
 so a single file shows before/after.  ``--quick`` shrinks the run for
@@ -24,6 +34,10 @@ the measured instrumentation overhead exceeds the given percentage.
 ``--audit-only`` skips the sweep and instrumentation sections and runs
 just the audit-scaling measurement; any parallel audit whose report
 differs from the serial one makes the process exit non-zero.
+``--check-baseline`` is the CI trend gate: the process exits non-zero
+when a mode's measured overhead exceeds the committed baseline's by
+more than ``--tolerance`` percentage points (default 15 — the observed
+noise band of the interleaved sweep at CI scale).
 """
 
 from __future__ import annotations
@@ -82,19 +96,47 @@ def _sizing_pages(root: Path, scale: TPCCScale) -> int:
     return pages
 
 
-def run_sweep(txns: int, root: Path) -> dict:
-    """Run the three-mode sweep; returns the per-mode measurements."""
+def run_sweep(txns: int, root: Path, repeats: int = 2) -> dict:
+    """Run the three-mode sweep; returns the per-mode measurements.
+
+    Timings are interleaved best-of-``repeats``: a discarded REGULAR
+    warm-up primes allocator/bytecode caches, then every attempt cycles
+    through all three modes on freshly built databases so CPU-frequency
+    drift hits every mode equally, and the fastest attempt per mode is
+    reported — the run least disturbed by scheduler noise.  Each mode's
+    entry also records its SHA-512 work (deltas of the process-wide
+    hash counters across the measured window) and the digest-pool
+    counters from the final metrics snapshot.
+    """
+    from repro.crypto import HASH_STATS
+
     scale = TPCCScale.small()
     buffer_pages = max(16, int(_sizing_pages(root, scale) * CACHE_RATIO))
-    modes = {}
-    for mode in MODES:
-        db = build_db(root / mode.value, mode, scale,
-                      buffer_pages=buffer_pages)
+
+    def one_run(mode: ComplianceMode, tag: str) -> tuple:
+        db = build_db(root / tag, mode, scale, buffer_pages=buffer_pages)
         driver = make_driver(db, scale)
+        before = HASH_STATS.snapshot()
         started = time.perf_counter()
         result = driver.run(txns)
         elapsed = time.perf_counter() - started
+        after = HASH_STATS.snapshot()
         metrics = db.metrics()
+        db.close()
+        hash_work = {key: after[key] - before[key] for key in after}
+        return elapsed, result, metrics, hash_work
+
+    one_run(ComplianceMode.REGULAR, "sweep-warmup")
+    best: dict = {}
+    for attempt in range(max(1, repeats)):
+        for mode in MODES:
+            run = one_run(mode, f"{mode.value}-{attempt}")
+            if mode not in best or run[0] < best[mode][0]:
+                best[mode] = run
+
+    modes = {}
+    for mode in MODES:
+        elapsed, result, metrics, hash_work = best[mode]
         worm = _worm_counters(metrics)
         entry = {
             "transactions": result.transactions,
@@ -102,7 +144,16 @@ def run_sweep(txns: int, root: Path) -> dict:
             "rolled_back": result.rolled_back,
             "elapsed_seconds": round(elapsed, 4),
             "tps": round(result.tps, 2),
+            "hash_work": hash_work,
         }
+        pool = {short: metrics["counters"][name]
+                for short, name in (
+                    ("submitted", "digest_pool_submitted_total"),
+                    ("completed", "digest_pool_completed_total"),
+                    ("inline", "digest_pool_inline_total"))
+                if name in metrics["counters"]}
+        if pool:
+            entry["digest_pool"] = pool
         if worm:
             entry["worm"] = worm
             if worm.get("flushes") is not None:
@@ -114,15 +165,14 @@ def run_sweep(txns: int, root: Path) -> dict:
         if clog_records:
             entry["clog_records"] = clog_records
         entry["metrics"] = metrics
-        db.close()
         modes[mode.value] = entry
     base = modes[ComplianceMode.REGULAR.value]["elapsed_seconds"]
     overhead = {}
     for mode in (ComplianceMode.LOG_CONSISTENT, ComplianceMode.HASH_ON_READ):
         elapsed = modes[mode.value]["elapsed_seconds"]
         overhead[mode.value] = round((elapsed / base - 1.0) * 100.0, 1)
-    return {"buffer_pages": buffer_pages, "modes": modes,
-            "overhead_pct": overhead}
+    return {"buffer_pages": buffer_pages, "sweep_repeats": max(1, repeats),
+            "modes": modes, "overhead_pct": overhead}
 
 
 def measure_obs_overhead(txns: int, root: Path, repeats: int = 3) -> dict:
@@ -164,6 +214,47 @@ def measure_obs_overhead(txns: int, root: Path, repeats: int = 3) -> dict:
         "enabled_seconds": round(timings[True], 4),
         "disabled_seconds": round(timings[False], 4),
         "overhead_pct": round(pct, 2),
+    }
+
+
+def measure_digest_equivalence(txns: int, root: Path,
+                               workers: int = 2) -> dict:
+    """Byte-identity gate: pooled digests must equal inline digests.
+
+    Two identically seeded HASH_ON_READ databases run the identical
+    workload, one with the digest pool disabled (``hash_workers=0``)
+    and one with ``workers`` pool threads.  A dry-run audit then
+    replays every READ_HASH and recomputes the completeness fold both
+    times: if pooling reordered or altered a single chain link, the
+    comparable reports or the expected/final ADD-HASH digests would
+    differ.  Any difference is a gate failure.
+    """
+    txns = min(txns, 200)
+    scale = TPCCScale.small()
+    reports: dict = {}
+    digests: dict = {}
+    pools: dict = {}
+    for tag, hash_workers in (("inline", 0), ("pooled", workers)):
+        db = build_db(root / f"equiv-{tag}", ComplianceMode.HASH_ON_READ,
+                      scale, buffer_pages=256, io_delay=0.0,
+                      hash_workers=hash_workers)
+        make_driver(db, scale).run(txns)
+        report = Auditor(db).audit(rotate=False)
+        counters = db.metrics()["counters"]
+        pools[tag] = {short: counters.get(
+            f"digest_pool_{short}_total", 0)
+            for short in ("submitted", "completed", "inline")}
+        reports[tag] = report.comparable()
+        digests[tag] = (report.expected_digest, report.final_digest)
+        db.close()
+    match = reports["inline"] == reports["pooled"] and \
+        digests["inline"] == digests["pooled"]
+    return {
+        "transactions": txns,
+        "hash_workers": workers,
+        "reports_match": match,
+        "expected_digest": digests["inline"][0],
+        "digest_pool": pools,
     }
 
 
@@ -235,13 +326,26 @@ def measure_audit_scaling(txns: int, root: Path,
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--txns", type=int, default=300,
-                        help="transactions per mode (default 300)")
+    parser.add_argument("--txns", type=int, default=600,
+                        help="transactions per mode (default 600)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent /
-                        "BENCH_PR5.json")
+                        "BENCH_PR6.json")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="embed a previously captured report")
+    parser.add_argument("--check-baseline", type=Path, default=None,
+                        help="trend gate: fail when a mode's overhead "
+                             "exceeds this report's by more than "
+                             "--tolerance percentage points")
+    parser.add_argument("--tolerance", type=float, default=15.0,
+                        help="noise tolerance for --check-baseline, in "
+                             "percentage points (default 15)")
+    parser.add_argument("--hash-workers", type=int, default=2,
+                        help="digest-pool threads for the equivalence "
+                             "gate (default 2)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="interleaved attempts per mode in the "
+                             "sweep (default 2; 1 under --quick)")
     parser.add_argument("--label", default="current",
                         help="name for this capture (e.g. git describe)")
     parser.add_argument("--quick", action="store_true",
@@ -262,6 +366,11 @@ def main(argv=None) -> int:
         parser.error("--txns must be at least 1")
     if args.baseline is not None and not args.baseline.exists():
         parser.error(f"--baseline file not found: {args.baseline}")
+    if args.check_baseline is not None and not args.check_baseline.exists():
+        parser.error(
+            f"--check-baseline file not found: {args.check_baseline}")
+    if args.hash_workers < 1:
+        parser.error("--hash-workers must be at least 1")
     if args.audit_workers is not None:
         try:
             worker_counts = tuple(
@@ -276,9 +385,12 @@ def main(argv=None) -> int:
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         report = {}
         if not args.audit_only:
-            report = run_sweep(args.txns, Path(tmp))
+            report = run_sweep(args.txns, Path(tmp),
+                               repeats=1 if args.quick else args.repeats)
             report["instrumentation_overhead"] = measure_obs_overhead(
                 args.txns, Path(tmp))
+            report["digest_equivalence"] = measure_digest_equivalence(
+                args.txns, Path(tmp), workers=args.hash_workers)
         report["audit_scaling"] = measure_audit_scaling(
             args.txns, Path(tmp), worker_counts=worker_counts,
             repeats=1 if args.quick else 2)
@@ -299,6 +411,13 @@ def main(argv=None) -> int:
         print(f"  obs instrumentation overhead: "
               f"{obs['overhead_pct']:+.2f}% over "
               f"{obs['transactions']} txns")
+    equiv = report.get("digest_equivalence")
+    if equiv is not None:
+        verdict = "identical" if equiv["reports_match"] else "DIFFER"
+        pooled = equiv["digest_pool"]["pooled"]
+        print(f"  digest equivalence (workers="
+              f"{equiv['hash_workers']}): reports {verdict} "
+              f"({pooled['submitted']} pooled submissions)")
     audit = report["audit_scaling"]
     print(f"  audit serial: {audit['serial_seconds']}s over "
           f"{audit['pages_scanned']} pages / "
@@ -311,11 +430,30 @@ def main(argv=None) -> int:
         print("  FAIL: parallel audit report(s) differ from serial: "
               f"{audit['mismatched_configs']}", file=sys.stderr)
         failed = True
+    if equiv is not None and not equiv["reports_match"]:
+        print("  FAIL: pooled digests differ from inline digests",
+              file=sys.stderr)
+        failed = True
     if obs is not None and args.max_overhead is not None and \
             obs["overhead_pct"] > args.max_overhead:
         print(f"  FAIL: overhead above --max-overhead "
               f"{args.max_overhead}%", file=sys.stderr)
         failed = True
+    if args.check_baseline is not None:
+        base = json.loads(args.check_baseline.read_text())
+        base_overhead = base.get("overhead_pct", {})
+        for mode, pct in report.get("overhead_pct", {}).items():
+            ref = base_overhead.get(mode)
+            if ref is None:
+                continue
+            if pct > ref + args.tolerance:
+                print(f"  FAIL: {mode} overhead {pct:+.1f}% exceeds "
+                      f"baseline {ref:+.1f}% by more than "
+                      f"{args.tolerance} points", file=sys.stderr)
+                failed = True
+            else:
+                print(f"  trend {mode}: {pct:+.1f}% vs baseline "
+                      f"{ref:+.1f}% (tolerance {args.tolerance})")
     return 1 if failed else 0
 
 

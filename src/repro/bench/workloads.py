@@ -23,12 +23,14 @@ def build_db(path: Path, mode: ComplianceMode, scale: TPCCScale,
              worm_migration: bool = False,
              split_threshold: float = 0.5,
              obs_enabled: bool = True,
-             io_delay: Optional[float] = None) -> CompliantDB:
+             io_delay: Optional[float] = None,
+             hash_workers: int = 0) -> CompliantDB:
     """Create and populate a TPC-C database in the given architecture.
 
     ``obs_enabled=False`` wires in the no-op registry/tracer — the
     baseline for the instrumentation-overhead benchmark.  ``io_delay``
     overrides the ``REPRO_IO_DELAY`` environment default.
+    ``hash_workers`` sizes the engine's digest pool (0 = inline).
     """
     clock = SimulatedClock()
     if io_delay is None:
@@ -36,7 +38,8 @@ def build_db(path: Path, mode: ComplianceMode, scale: TPCCScale,
     config = DBConfig(
         engine=EngineConfig(page_size=page_size,
                             buffer_pages=buffer_pages,
-                            io_delay_seconds=io_delay),
+                            io_delay_seconds=io_delay,
+                            hash_workers=hash_workers),
         compliance=ComplianceConfig(mode=mode,
                                     regret_interval=REGRET,
                                     worm_migration=worm_migration,

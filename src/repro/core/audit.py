@@ -456,13 +456,17 @@ class Auditor:
                 report.add("shredded-content-mismatch",
                            f"SHREDDED content differs for {nid!r}")
 
-        expected_hash = AddHash(expected.values())  # repro-lint: disable=replay-determinism -- ADD-HASH is commutative; iteration order cannot change the digest
+        # both folds go through the digest pool's chunked batch path;
+        # ADD-HASH is commutative, so neither dict-iteration order nor
+        # the pool's chunking can change the digest
+        pool = self._db.engine.digest_pool
+        expected_hash = pool.add_hash_many(expected.values())
         if final.add_hash is not None:
             # partitioned scan: the union of the per-chunk partial
             # hashes, sound because ADD-HASH is commutative
             final_hash = final.add_hash
         else:
-            final_hash = AddHash(final.tuples.values())  # repro-lint: disable=replay-determinism -- ADD-HASH is commutative; iteration order cannot change the digest
+            final_hash = pool.add_hash_many(final.tuples.values())
         report.expected_digest = expected_hash.hexdigest()
         report.final_digest = final_hash.hexdigest()
         if expected_hash != final_hash:
@@ -489,13 +493,12 @@ class Auditor:
         policies: Dict[str, List[Tuple[int, int]]] = {}
         if expiry_rel is not None:
             from .shredding import EXPIRY_SCHEMA
-            for nid, raw in final.tuples.items():
-                if nid[0] != expiry_rel:
-                    continue
-                version = TupleVersion.from_bytes(raw)[0]
-                if version.eol:
-                    continue
-                row = EXPIRY_SCHEMA.decode_payload(version.payload)
+            live = [version for nid, raw in final.tuples.items()
+                    if nid[0] == expiry_rel
+                    and not (version := TupleVersion.from_bytes(raw)[0]).eol]
+            rows = EXPIRY_SCHEMA.decode_batch(
+                [version.payload for version in live])
+            for version, row in zip(live, rows):
                 policies.setdefault(row["relation"], []).append(
                     (version.start, row["retention"]))
         for history in policies.values():
@@ -1057,8 +1060,8 @@ class _LogScan(ScanState):
             # smuggled contents mismatch below
             model = self.leaf_models.setdefault(record.pgno, {})
             ordered = sorted(model.values(), key=lambda t: t.seq)
-            expected = SeqHash(self._norm_bytes(t)
-                               for t in ordered).digest()
+            expected = SeqHash().add_many(
+                self._norm_bytes(t) for t in ordered).digest()
         if expected != record.page_hash:
             self.report.add("read-hash-mismatch",
                             "a transaction read page contents that L "

@@ -30,7 +30,7 @@ import os
 import warnings
 from dataclasses import replace
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..common.clock import SimulatedClock
 from ..common.codec import Schema
@@ -38,7 +38,7 @@ from ..common.config import (ComplianceMode, DBConfig, EngineConfig,
                              ObsConfig)
 from ..common.errors import ConfigError
 from ..crypto import AuditorKey
-from ..obs import Observability, metrics_report
+from ..obs import Observability, metrics_report, publish_hash_stats
 from ..temporal.engine import Engine, RecoveryReport
 from ..worm import WormServer
 from .compliance_log import ComplianceLog
@@ -180,8 +180,11 @@ class CompliantDB:
         """
         marker = json.loads((Path(path) / "mode.json").read_text())
         from dataclasses import fields as dc_fields
+        # forward compatibility: a marker written before a knob existed
+        # simply lacks the key — the dataclass default applies
         engine_cfg = {f.name: marker["engine"][f.name]
-                      for f in dc_fields(EngineConfig)}
+                      for f in dc_fields(EngineConfig)
+                      if f.name in marker["engine"]}
         compliance_cfg = dict(marker["compliance"])
         # the top-level marker field is authoritative: markers written
         # before the config-first API may carry a stale default mode in
@@ -270,6 +273,11 @@ class CompliantDB:
     def insert(self, txn, relation: str, row: Dict[str, Any]) -> None:
         """Insert a tuple."""
         self.engine.insert(txn, relation, row)
+
+    def insert_many(self, txn, relation: str,
+                    rows: List[Dict[str, Any]]) -> None:
+        """Insert a batch of tuples into one relation (batched codec)."""
+        self.engine.insert_many(txn, relation, rows)
 
     def update(self, txn, relation: str, row: Dict[str, Any]) -> None:
         """Write a new version of an existing tuple."""
@@ -382,8 +390,12 @@ class CompliantDB:
         does not reset them (the *process* survived), so the report also
         covers recovery work.  The shape is the JSON exporter's —
         ``{"counters", "gauges", "histograms", "spans",
-        "spans_dropped"}``.
+        "spans_dropped"}``.  The process-wide SHA-512 work counters are
+        mirrored into ``hash_sha512_calls`` / ``hash_memo_hits`` gauges
+        on every call, so digest work per mode shows up next to the
+        digest-pool counters.
         """
+        publish_hash_stats(self.obs.registry)
         return metrics_report(self.obs.registry, self.obs.tracer)
 
     def close(self) -> None:

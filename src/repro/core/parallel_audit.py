@@ -397,7 +397,9 @@ def _final_chunk_task(lo: int, hi: int) -> _FinalChunkResult:
                 row = CATALOG_SCHEMA.decode_payload(version.payload)
                 rows.append((row["relation_id"], row["root_pgno"],
                              row["name"]))
-    partial = AddHash(chunk_tuples.values())  # repro-lint: disable=replay-determinism -- ADD-HASH is commutative; iteration order cannot change the digest
+    # batched fold; ADD-HASH is commutative, so dict-iteration order
+    # cannot change the digest
+    partial = AddHash().add_many(chunk_tuples.values())
     return _FinalChunkResult(lo, hi, hi - lo, findings, occurrences,
                              rows, partial)
 

@@ -51,7 +51,8 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..common.config import ComplianceMode
 from ..common.errors import PageFormatError
 from ..btree.events import SplitEvent, TimeSplitEvent
-from ..crypto import SeqHash, h
+from ..crypto.hashes import Buffer
+from ..crypto.pool import PageDigest
 from ..obs import (Counter, MetricsRegistry, Observability,
                    PluginStatsView)
 from ..storage.page import INTERNAL, LEAF, PAGE_MAGIC, Page
@@ -141,7 +142,7 @@ class _PageCache:
     """
 
     __slots__ = ("raw", "norm_map", "unresolved", "read_raw",
-                 "read_digest", "read_unresolved")
+                 "read_digest", "read_unresolved", "read_items")
 
     def __init__(self) -> None:
         self.raw: Optional[bytes] = None
@@ -150,6 +151,10 @@ class _PageCache:
         self.read_raw: Optional[bytes] = None
         self.read_digest: Optional[bytes] = None
         self.read_unresolved: Set[int] = frozenset()
+        #: the exact byte items of the last ``Hs`` fold — lets the next
+        #: fold of a page that merely gained tuples resume the chain
+        #: from ``read_digest`` instead of re-hashing every tuple
+        self.read_items: Optional[List[Buffer]] = None
 
 
 class CompliancePlugin:
@@ -162,6 +167,9 @@ class CompliancePlugin:
         self.engine = engine
         self.clog = clog
         self.mode = mode
+        #: the engine's shared digest workers (``hash_workers`` knob);
+        #: every page digest the plugin emits goes through this pool
+        self._pool = engine.digest_pool
         self.regret_interval = regret_interval
         self._witness_retention = witness_retention
         #: defaults to the engine's bundle so plugin metrics land in the
@@ -219,6 +227,7 @@ class CompliancePlugin:
         if self._attached:
             return
         self.engine.pager.pread_hooks.append(self.on_pread)
+        self.engine.pager.pread_batch_hooks.append(self.on_pread_batch)
         self.engine.pager.pwrite_hooks.append(self.on_pwrite)
         self.engine.pager.pwrite_barriers.append(self._page_barrier)
         # the plugin must learn the commit time BEFORE the engine's own
@@ -280,8 +289,14 @@ class CompliancePlugin:
 
     # -- pread / pwrite hooks -------------------------------------------------------
 
-    def on_pread(self, pgno: int, raw: bytes) -> None:
-        """Cache the page's disk state; log its read hash (Section V)."""
+    def on_pread(self, pgno: int, raw: bytes,
+                 _precomputed: PageDigest = None) -> None:
+        """Cache the page's disk state; log its read hash (Section V).
+
+        ``_precomputed`` is a ``(digest, unresolved)`` pair the batched
+        hook computed on the digest pool for this exact page image —
+        accepted only on the cache-miss path.
+        """
         ptype = _page_type(raw)
         if ptype == LEAF:
             if not self.hash_on_read:
@@ -299,19 +314,11 @@ class CompliancePlugin:
                 digest = cache.read_digest
                 self._c_hash_hits.inc()
             else:
-                entries = self._parse_leaf(raw)
-                if entries is None:
+                result = self._leaf_read_digest(pgno, raw, cache,
+                                                _precomputed)
+                if result is None:
                     return  # corrupted: the audit's disk scan flags it
-                if pgno not in self._logged:
-                    self._logged[pgno] = list(entries)
-                digest, unresolved = self._leaf_hash(entries)
-                if cache is None:
-                    cache = self._page_caches.setdefault(pgno,
-                                                         _PageCache())
-                cache.read_raw = raw
-                cache.read_digest = digest
-                cache.read_unresolved = unresolved
-                self._c_hash_misses.inc()
+                digest = result
             self._append(CLogRecord(
                 CLogType.READ_HASH, pgno=pgno, page_hash=digest,
                 timestamp=self.engine.clock.now()))
@@ -326,7 +333,8 @@ class CompliancePlugin:
                     page = Page.from_bytes(raw)
                 except PageFormatError:
                     return
-                digest = h(index_content_bytes(page.children, page.seps))
+                digest = self._pool.h(
+                    index_content_bytes(page.children, page.seps))
                 if cache is None:
                     cache = self._page_caches.setdefault(pgno,
                                                          _PageCache())
@@ -338,6 +346,39 @@ class CompliancePlugin:
                 CLogType.READ_HASH, pgno=pgno, is_index=True,
                 page_hash=digest, timestamp=self.engine.clock.now()))
 
+    def on_pread_batch(self, pages: List[Tuple[int, bytes]]) -> None:
+        """Batched pread hook (buffer-pool prefetch, Section V).
+
+        Different pages' ``Hs`` chains share no state, so the
+        cache-missing leaves of a prefetch batch are digested
+        concurrently on the digest pool; the READ_HASH records are then
+        appended strictly in page order, because a record's *position*
+        in L fixes the commit-map state the auditor's replay will hash
+        against (DESIGN.md §10).  The commit map cannot move while this
+        runs — the engine is single-writer and blocks here.
+        """
+        precomputed: Dict[int, PageDigest] = {}
+        if self.hash_on_read and self._pool.workers > 0 and len(pages) > 1:
+            todo: List[Tuple[int, bytes]] = []
+            for pgno, raw in pages:
+                if _page_type(raw) != LEAF:
+                    continue
+                cache = self._page_caches.get(pgno)
+                if cache is not None and cache.read_digest is not None \
+                        and cache.read_raw == raw \
+                        and pgno in self._logged \
+                        and not self._stale(cache.read_unresolved):
+                    continue  # on_pread will serve it from the cache
+                todo.append((pgno, raw))
+            if todo:
+                digests = self._pool.seq_hash_pages(
+                    [raw for _, raw in todo], self.commit_map.get)
+                for (pgno, _), digest in zip(todo, digests):
+                    if digest is not None:
+                        precomputed[pgno] = digest
+        for pgno, raw in pages:
+            self.on_pread(pgno, raw, _precomputed=precomputed.get(pgno))
+
     @staticmethod
     def _parse_leaf(raw: bytes):
         try:
@@ -346,17 +387,49 @@ class CompliancePlugin:
             return None
         return page.entries if page.ptype == LEAF else None
 
-    def _leaf_hash(self, entries) -> Tuple[bytes, Set[int]]:
-        # stamped tuples hash their canonical bytes verbatim; only tuples
-        # still carrying a txn id need the commit-time substitution.  The
-        # returned unresolved set names txns whose commit time was still
-        # unknown — the digest must be recomputed once they commit.
-        ordered = sorted(entries, key=lambda t: t.seq)
-        unresolved = {t.start for t in ordered
-                      if not t.stamped and t.start not in self.commit_map}
-        digest = SeqHash(t.to_bytes() if t.stamped else self._norm_bytes(t)
-                         for t in ordered).digest()
-        return digest, unresolved
+    def _leaf_read_digest(self, pgno: int, raw: bytes,
+                          cache: Optional[_PageCache],
+                          precomputed: PageDigest = None
+                          ) -> Optional[bytes]:
+        """Cache-miss ``Hs`` of a leaf read; ``None`` for corrupt pages.
+
+        The digest comes from the batched extent walk
+        (:meth:`~repro.crypto.pool.DigestPool.seq_hash_page`): stamped
+        tuples hash their on-page bytes verbatim — the page encoding
+        *is* the canonical encoding — and only tuples still carrying a
+        txn id get the commit-time substitution.  The unresolved set
+        names txns whose commit time was still unknown; the digest must
+        be recomputed once they commit.  When the page changed only by
+        gaining tuples since the last fold, the chain resumes from the
+        cached digest and hashes just the new suffix.
+        """
+        items: Optional[List[Buffer]] = None
+        try:
+            if precomputed is not None:
+                digest, unresolved = precomputed
+            else:
+                # memoryview items borrow the raw buffer; it stays alive
+                # (and immutable) for as long as the cache holds them
+                digest, unresolved, items = \
+                    self._pool.seq_hash_page_resumed(
+                        raw, self.commit_map.get,
+                        cache.read_items if cache is not None else None,
+                        cache.read_digest if cache is not None else None)
+        except PageFormatError:
+            return None
+        if pgno not in self._logged:
+            entries = self._parse_leaf(raw)
+            if entries is None:
+                return None
+            self._logged[pgno] = list(entries)
+        if cache is None:
+            cache = self._page_caches.setdefault(pgno, _PageCache())
+        cache.read_raw = raw
+        cache.read_digest = digest
+        cache.read_unresolved = unresolved
+        cache.read_items = items  # None on the batch-precomputed path
+        self._c_hash_misses.inc()
+        return digest
 
     def on_pwrite(self, pgno: int, raw: bytes) -> None:
         """Diff the outgoing page against its last logged state."""

@@ -1,10 +1,13 @@
-"""Hash constructions (ADD-HASH, Hs) and auditor signatures."""
+"""Hash constructions (ADD-HASH, Hs), batched digests, and signatures."""
 
-from .hashes import (DIGEST_BYTES, HASH_STATS, AddHash, HashStats, SeqHash,
-                     add_hash, h, h_int, seq_hash)
+from .batch import seq_hash_page
+from .hashes import (DIGEST_BYTES, HASH_STATS, AddHash, Buffer, HashStats,
+                     SeqHash, add_hash, h, h_int, seq_hash)
+from .pool import GIL_RELEASE_MIN, DigestPool
 from .signatures import SIGNATURE_BYTES, AuditorKey
 
 __all__ = [
-    "AddHash", "AuditorKey", "DIGEST_BYTES", "HASH_STATS", "HashStats",
-    "SIGNATURE_BYTES", "SeqHash", "add_hash", "h", "h_int", "seq_hash",
+    "AddHash", "AuditorKey", "Buffer", "DIGEST_BYTES", "DigestPool",
+    "GIL_RELEASE_MIN", "HASH_STATS", "HashStats", "SIGNATURE_BYTES",
+    "SeqHash", "add_hash", "h", "h_int", "seq_hash", "seq_hash_page",
 ]

@@ -1,0 +1,111 @@
+"""Batched page hashing: ``Hs`` straight from raw page bytes.
+
+The hash-page-on-read hot path (Section V) computes the sequential hash
+``Hs`` of every leaf page read from disk.  The straightforward route —
+parse the page into :class:`~repro.storage.record.TupleVersion` objects,
+sort, re-encode each tuple, chain — allocates one object and one ``bytes``
+per tuple per read.  :func:`seq_hash_page` removes all of that: it walks
+the slotted page's tuple extents as contiguous ``memoryview`` slices
+(:func:`~repro.storage.page.leaf_tuple_extents`), orders them by tuple
+order number, and folds them with :meth:`~repro.crypto.hashes.SeqHash.
+add_many`'s reused-hasher chain.
+
+Byte-identity argument (the invariant the property tests pin down): the
+on-page encoding of a record *is* its canonical ``to_bytes`` form, so for
+every stamped tuple the extent bytes equal what the per-tuple path hashes.
+Unstamped tuples whose commit time is known are the one exception — the
+plugin hashes them *as stamped* (Section V) — so those few extents are
+parsed and re-encoded through the exact :meth:`TupleVersion.stamp` path
+the slow route uses.
+"""
+
+from __future__ import annotations
+
+from typing import (Callable, FrozenSet, List, Optional, Sequence, Set,
+                    Tuple)
+
+from ..storage.page import leaf_tuple_extents
+from ..storage.record import TupleVersion
+from .hashes import Buffer, SeqHash
+
+#: commit-time lookup: txn id -> commit time, or None if still unknown
+Resolver = Callable[[int], Optional[int]]
+
+
+def page_items(raw: bytes, resolve: Optional[Resolver] = None
+               ) -> Tuple[List[Buffer], FrozenSet[int]]:
+    """The exact byte items ``Hs`` folds for a raw LEAF page, in order.
+
+    ``resolve`` maps a transaction id to its commit time (or ``None`` if
+    the transaction has not committed) — pass the compliance plugin's
+    ``commit_map.get``.  Unstamped tuples with a known commit time are
+    returned in stamped form, the rest exactly as stored; the returned
+    frozenset names the transactions whose commit time was still unknown,
+    i.e. the condition under which the digest must later be recomputed.
+
+    Raises :class:`~repro.common.errors.PageFormatError` for non-leaf or
+    malformed pages.
+    """
+    extents = leaf_tuple_extents(raw)
+    extents.sort(key=lambda e: e.seq)  # stable, like the reference sort
+    unresolved: Set[int] = set()
+    items: List[Buffer] = []
+    for ext in extents:
+        if ext.stamped:
+            items.append(ext.raw)
+            continue
+        commit_time = resolve(ext.start) if resolve is not None else None
+        if commit_time is None:
+            unresolved.add(ext.start)
+            items.append(ext.raw)  # hashed as read, txn id and all
+        else:
+            # the rare slow lane: materialise and stamp, exactly like
+            # the per-tuple path, so substitution stays byte-identical
+            version, _ = TupleVersion.from_bytes(ext.raw)
+            items.append(version.stamp(commit_time).to_bytes())
+    return items, frozenset(unresolved)
+
+
+def seq_hash_page(raw: bytes, resolve: Optional[Resolver] = None
+                  ) -> Tuple[bytes, FrozenSet[int]]:
+    """``Hs`` of a raw LEAF page, batched over its tuple extents.
+
+    Byte-identical to the per-tuple reference::
+
+        ordered = sorted(page.entries, key=lambda t: t.seq)
+        SeqHash(stamped_form(t).to_bytes() for t in ordered).digest()
+
+    See :func:`page_items` for the substitution rules and errors.
+    """
+    items, unresolved = page_items(raw, resolve)
+    return SeqHash().add_many(items).digest(), unresolved
+
+
+def seq_hash_page_resumed(
+    raw: bytes,
+    resolve: Optional[Resolver],
+    prev_items: Optional[Sequence[Buffer]],
+    prev_digest: Optional[bytes],
+) -> Tuple[bytes, FrozenSet[int], List[Buffer]]:
+    """``Hs`` of a LEAF page, resuming a previous fold when possible.
+
+    Tuple order numbers only ever grow, so a page that merely *gained*
+    tuples since its last fold hashes the same item sequence with new
+    items appended — the chain property the paper leans on ("appending a
+    tuple to a page updates the hash in O(1)").  When the previously
+    folded items (with their substitutions) are a byte-equal prefix of
+    the current ones, the chain resumes from the stored digest and folds
+    only the suffix; any other change (vacuumed tuple, new substitution,
+    reordering) falls back to the full fold.  Returns the items as a
+    third element so the caller can cache them for the next resume.
+
+    Byte-identity with :func:`seq_hash_page` holds by construction: the
+    chain state after item ``i`` is a pure function of items ``0..i``.
+    """
+    items, unresolved = page_items(raw, resolve)
+    if prev_items is not None and prev_digest is not None:
+        n = len(prev_items)
+        if n <= len(items) and list(prev_items) == items[:n]:
+            chain = SeqHash.from_state(prev_digest, n)
+            return chain.add_many(items[n:]).digest(), unresolved, items
+    return SeqHash().add_many(items).digest(), unresolved, items

@@ -17,27 +17,86 @@ Three constructions are used by the compliance architecture:
 All digests are 64 bytes.  :class:`AddHash` additionally supports
 *subtraction*, which the auditor uses when recomputing snapshot-page hashes
 after vacuuming (Section VIII).
+
+Batched entry points (:meth:`SeqHash.add_many`, :meth:`AddHash.add_many`,
+:func:`~repro.crypto.batch.seq_hash_page`) fold many items with one pass
+and no per-item intermediate allocations; they are byte-identical to the
+per-item loops.  Everything here is thread-safe so the
+:class:`~repro.crypto.pool.DigestPool` may call ``h`` concurrently: the
+work counters are per-thread shards summed on read, and the ``h`` memo
+tolerates concurrent eviction.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
-from typing import Iterable
+from typing import Dict, Iterable, List, Union
 
 DIGEST_BYTES = 64
 _MODULUS = 1 << (DIGEST_BYTES * 8)
 _MASK = _MODULUS - 1
 
+#: anything ``hashlib`` accepts without copying
+Buffer = Union[bytes, bytearray, memoryview]
 
-class HashStats:
-    """Global SHA-512 work counters (read by the caching tests)."""
+
+class _StatsShard:
+    """One thread's private counters (written without any locking)."""
 
     __slots__ = ("sha512_calls", "memo_hits")
 
     def __init__(self) -> None:
         self.sha512_calls = 0
         self.memo_hits = 0
+
+
+class HashStats:
+    """Process-wide SHA-512 work counters, safe under DigestPool threads.
+
+    Writers bump a per-thread shard (no lock, no contention on the hot
+    path); readers sum the shards.  The legacy attribute surface —
+    ``sha512_calls`` and ``memo_hits`` as plain reads — is preserved as
+    summing properties, so existing callers and tests keep working.
+    """
+
+    __slots__ = ("_lock", "_local", "_shards")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._shards: List[_StatsShard] = []
+
+    def shard(self) -> _StatsShard:
+        """This thread's private counter shard (created on first use)."""
+        shard: _StatsShard = getattr(self._local, "shard", None)  # type: ignore[assignment]
+        if shard is None:
+            shard = _StatsShard()
+            with self._lock:
+                self._shards.append(shard)
+            self._local.shard = shard
+        return shard
+
+    @property
+    def sha512_calls(self) -> int:
+        """Real SHA-512 compressions performed, summed across threads."""
+        with self._lock:
+            return sum(s.sha512_calls for s in self._shards)
+
+    @property
+    def memo_hits(self) -> int:
+        """Memoised ``h`` lookups served, summed across threads."""
+        with self._lock:
+            return sum(s.memo_hits for s in self._shards)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Point-in-time copy of both counters (for bench deltas)."""
+        with self._lock:
+            return {
+                "sha512_calls": sum(s.sha512_calls for s in self._shards),
+                "memo_hits": sum(s.memo_hits for s in self._shards),
+            }
 
 
 #: process-wide counters: every real SHA-512 compression bumps
@@ -53,30 +112,43 @@ _MEMO_ITEM_MAX = 512
 _memo: "OrderedDict[bytes, bytes]" = OrderedDict()
 
 
-def _sha512(data: bytes) -> bytes:
-    HASH_STATS.sha512_calls += 1
+def _sha512(data: Buffer) -> bytes:
+    HASH_STATS.shard().sha512_calls += 1
     return hashlib.sha512(data).digest()
 
 
-def h(data: bytes) -> bytes:
+def h(data: Buffer) -> bytes:
     """The underlying big one-way hash (SHA-512), memoised for small
-    inputs (bounded LRU)."""
-    data = bytes(data)
+    inputs (bounded LRU).
+
+    Accepts any buffer without copying; memo keys are materialised to
+    ``bytes`` only for memo-sized inputs, so hashing a large
+    ``memoryview`` (a page image, a tuple extent) never copies it.
+    """
     if len(data) > _MEMO_ITEM_MAX:
         return _sha512(data)
+    if not isinstance(data, bytes):
+        data = bytes(data)  # memo keys must be hashable and immutable
     cached = _memo.get(data)
     if cached is not None:
-        HASH_STATS.memo_hits += 1
-        _memo.move_to_end(data)
+        HASH_STATS.shard().memo_hits += 1
+        try:
+            _memo.move_to_end(data)
+        except KeyError:
+            # concurrently evicted between get and move: reinsert
+            _memo[data] = cached
         return cached
     digest = _sha512(data)
     _memo[data] = digest
     if len(_memo) > _MEMO_MAX:
-        _memo.popitem(last=False)
+        try:
+            _memo.popitem(last=False)
+        except KeyError:
+            pass  # another thread already evicted
     return digest
 
 
-def h_int(data: bytes) -> int:
+def h_int(data: Buffer) -> int:
     """``h`` interpreted as an unsigned integer (for ADD-HASH sums)."""
     return int.from_bytes(h(data), "big")
 
@@ -98,19 +170,36 @@ class AddHash:
 
     __slots__ = ("_acc", "_count")
 
-    def __init__(self, items: Iterable[bytes] = ()):
+    def __init__(self, items: Iterable[Buffer] = ()):
         self._acc = 0
         self._count = 0
-        for item in items:
-            self.add(item)
+        if items:
+            self.add_many(items)
 
-    def add(self, item: bytes) -> "AddHash":
+    def add(self, item: Buffer) -> "AddHash":
         """Fold one item into the multiset hash."""
         self._acc = (self._acc + h_int(item)) & _MASK
         self._count += 1
         return self
 
-    def remove(self, item: bytes) -> "AddHash":
+    def add_many(self, items: Iterable[Buffer]) -> "AddHash":
+        """Fold many items in one pass.
+
+        Byte-identical to repeated :meth:`add` — modular addition is
+        associative — but the per-item ``h_int`` values are summed as a
+        plain Python integer and reduced mod 2^512 once, instead of one
+        masked reduction per item.
+        """
+        acc = 0
+        count = 0
+        for item in items:
+            acc += h_int(item)
+            count += 1
+        self._acc = (self._acc + acc) & _MASK
+        self._count += count
+        return self
+
+    def remove(self, item: Buffer) -> "AddHash":
         """Subtract one item (modular inverse of :meth:`add`)."""
         self._acc = (self._acc - h_int(item)) & _MASK
         self._count -= 1
@@ -168,16 +257,52 @@ class SeqHash:
 
     __slots__ = ("_state", "_count")
 
-    def __init__(self, items: Iterable[bytes] = ()):
+    def __init__(self, items: Iterable[Buffer] = ()):
         self._state = _SEQ_IV
         self._count = 0
-        for item in items:
-            self.add(item)
+        if items:
+            self.add_many(items)
 
-    def add(self, item: bytes) -> "SeqHash":
+    @classmethod
+    def from_state(cls, state: bytes, count: int = 0) -> "SeqHash":
+        """Resume a chain from a previously computed digest.
+
+        The chain state after item ``i`` *is* the digest of items
+        ``0..i``, so a caller that kept a fold's digest can continue it
+        with further items — the O(1)-append property the
+        hash-page-on-read refinement relies on.
+        """
+        chain = cls()
+        chain._state = state
+        chain._count = count
+        return chain
+
+    def add(self, item: Buffer) -> "SeqHash":
         """Chain one more item onto the sequence."""
         self._state = _sha512(self._state + h(item))
         self._count += 1
+        return self
+
+    def add_many(self, items: Iterable[Buffer]) -> "SeqHash":
+        """Chain many items in order, one reused hasher object per link.
+
+        Byte-identical to repeated :meth:`add`: each link is still
+        ``sha512(state || h(item))``, but state and item digest are fed
+        to the hasher as two updates, skipping the intermediate 128-byte
+        concatenation that :meth:`add` allocates per link.
+        """
+        state = self._state
+        sha512 = hashlib.sha512
+        count = 0
+        for item in items:
+            hasher = sha512(state)
+            hasher.update(h(item))
+            state = hasher.digest()
+            count += 1
+        if count:
+            HASH_STATS.shard().sha512_calls += count
+            self._state = state
+            self._count += count
         return self
 
     @property
@@ -212,11 +337,11 @@ class SeqHash:
         return f"SeqHash(count={self._count}, digest={self.hexdigest()[:16]}…)"
 
 
-def seq_hash(items: Iterable[bytes]) -> bytes:
+def seq_hash(items: Iterable[Buffer]) -> bytes:
     """One-shot ``Hs`` over an ordered iterable of encoded tuples."""
     return SeqHash(items).digest()
 
 
-def add_hash(items: Iterable[bytes]) -> bytes:
+def add_hash(items: Iterable[Buffer]) -> bytes:
     """One-shot ADD-HASH over an iterable of encoded tuples."""
     return AddHash(items).digest()

@@ -25,6 +25,7 @@ from .views import (
     PagerStatsView,
     PluginStatsView,
     WormStatsView,
+    publish_hash_stats,
 )
 
 __all__ = [
@@ -46,4 +47,5 @@ __all__ = [
     "global_obs",
     "metrics_report",
     "prometheus_text",
+    "publish_hash_stats",
 ]

@@ -114,6 +114,30 @@ class BufferCache:
         self._pages[pgno] = page
         return page
 
+    def prefetch(self, pgnos: Iterable[int]) -> int:
+        """Warm the cache: read and parse absent pages as one batch.
+
+        The whole group goes through :meth:`Pager.read_pages`, so a
+        compliance plugin with digest workers hashes the pages' ``Hs``
+        chains concurrently instead of one at a time — byte-identical
+        records, same order in L, less wall-clock per page.  Returns
+        the number of pages actually loaded.
+        """
+        missing = [pgno for pgno in dict.fromkeys(pgnos)
+                   if pgno not in self._pages]
+        if not missing:
+            return 0
+        pairs = self._pager.read_pages(missing)
+        for pgno, raw in pairs:
+            page = Page.from_bytes(raw)
+            if page.pgno != pgno:
+                raise PageNotFoundError(
+                    f"page {pgno} on disk claims pgno {page.pgno}")
+            self._c_misses.inc()
+            self._evict_as_needed()
+            self._pages[pgno] = page
+        return len(pairs)
+
     def new_page(self, ptype: int, level: int = 0) -> Page:
         """Allocate a fresh page and cache it dirty."""
         pgno = self._pager.allocate()

@@ -32,7 +32,7 @@ import struct
 from typing import Any, Dict, List, Tuple
 
 from ..common.errors import PageFormatError
-from .record import TupleVersion
+from .record import TupleExtent, TupleVersion, scan_extents
 
 PAGE_MAGIC = 0xD81B
 
@@ -245,6 +245,36 @@ class Page:
                 FREE: "free"}.get(self.ptype, "?")
         n = len(self.entries) if self.ptype == LEAF else len(self.seps)
         return f"Page(pgno={self.pgno}, {kind}, n={n})"
+
+
+def leaf_tuple_extents(raw: bytes) -> List[TupleExtent]:
+    """Tuple byte extents of a raw LEAF page, in slot order, zero-copy.
+
+    The batched hashing fast path: each extent's ``raw`` is a
+    ``memoryview`` slice of the page image, byte-for-byte equal to the
+    :meth:`TupleVersion.to_bytes` of the parsed record — the encoding on
+    the page *is* the canonical encoding.  No :class:`TupleVersion`
+    objects are built and no key/payload bytes are copied.
+
+    Raises :class:`PageFormatError` for non-leaf or malformed pages.
+    """
+    try:
+        magic, ptype, _level, _pgno, count, _flags, _nxt, _prv, _lsn = \
+            _HEADER.unpack_from(raw, 0)
+    except struct.error as exc:
+        raise PageFormatError("page shorter than header") from exc
+    if magic != PAGE_MAGIC:
+        raise PageFormatError(
+            f"bad page magic 0x{magic:04x} (page corrupt or not a page)")
+    if ptype != LEAF:
+        raise PageFormatError(f"page type {ptype} has no tuple extents")
+    offset = HEADER_SIZE
+    (nrefs,) = _U16.unpack_from(raw, offset)
+    offset += _U16.size
+    for _ in range(nrefs):
+        (rlen,) = _U16.unpack_from(raw, offset)
+        offset += _U16.size + rlen
+    return scan_extents(raw, offset, count)
 
 
 def parse_page_tuples(raw: bytes) -> List[TupleVersion]:

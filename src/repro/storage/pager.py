@@ -24,13 +24,16 @@ import os
 import time
 import warnings
 from pathlib import Path
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..common.errors import PageNotFoundError, StorageError
 from ..obs import MetricsRegistry, Observability, PagerStatsView
 from .page import META, Page
 
 PreadHook = Callable[[int, bytes], None]
+#: batch-aware pread hook: sees a whole prefetch group at once, so a
+#: compliance plugin with a digest pool can hash the pages concurrently
+PreadBatchHook = Callable[[List[Tuple[int, bytes]]], None]
 PwriteHook = Callable[[int, bytes], None]
 #: fired after the pwrite hooks but before the physical write — the seam
 #: where the compliance plugin places its group-commit durability
@@ -90,6 +93,7 @@ class Pager:
         #: default) disables the simulation.
         self.io_delay = io_delay
         self.pread_hooks: List[PreadHook] = []
+        self.pread_batch_hooks: List[PreadBatchHook] = []
         self.pwrite_hooks: List[PwriteHook] = []
         self.pwrite_barriers: List[PwriteBarrier] = []
         self.stats = PagerStatsView(self.obs.registry)
@@ -128,6 +132,27 @@ class Pager:
         for hook in self.pread_hooks:
             hook(pgno, raw)
         return raw
+
+    def read_pages(self, pgnos: Sequence[int]) -> List[Tuple[int, bytes]]:
+        """Batched pread: read several pages, firing hooks once per group.
+
+        Each page is read with the same per-page ``io_delay`` charge and
+        counters as :meth:`read_page`.  When a batch-aware hook is
+        registered it sees the whole group in one call (and is expected
+        to cover the per-page ``pread_hooks`` duties itself — the
+        compliance plugin does); otherwise the plain per-page hooks fire
+        in order, making the batch observably identical to a loop of
+        ``read_page`` calls.
+        """
+        pairs = [(pgno, self.read_raw(pgno)) for pgno in pgnos]
+        if self.pread_batch_hooks:
+            for batch_hook in self.pread_batch_hooks:
+                batch_hook(pairs)
+        else:
+            for pgno, raw in pairs:
+                for hook in self.pread_hooks:
+                    hook(pgno, raw)
+        return pairs
 
     def emit_write_hooks(self, pgno: int, raw: bytes) -> None:
         """Fire the pwrite hooks for a page without writing it.

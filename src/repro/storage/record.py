@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import List, NamedTuple, Tuple, Union
 
 from ..common.errors import PageFormatError
 
@@ -157,3 +157,48 @@ class TupleVersion:
 
 
 RECORD_HEADER_SIZE = _HEADER.size
+
+
+class TupleExtent(NamedTuple):
+    """One record's contiguous byte extent on a page, header pre-parsed.
+
+    The batched ``Hs`` fast path (:func:`repro.crypto.batch.seq_hash_page`)
+    hashes ``raw`` directly — a zero-copy ``memoryview`` slice of the page
+    image — instead of materialising a :class:`TupleVersion` and
+    re-encoding it.  ``seq``/``stamped``/``start`` are the three header
+    fields the hashing order and commit-time substitution depend on.
+    """
+
+    seq: int
+    stamped: bool
+    start: int
+    raw: memoryview
+
+
+def scan_extents(data: Union[bytes, memoryview], offset: int,
+                 count: int) -> List[TupleExtent]:
+    """Walk ``count`` records starting at ``offset`` without decoding them.
+
+    Returns the records' byte extents in slot order.  Only the fixed
+    header of each record is unpacked; keys and payloads stay inside the
+    returned ``memoryview`` slices, so the walk allocates nothing
+    proportional to tuple size.  Raises :class:`PageFormatError` on
+    truncation, exactly like :meth:`TupleVersion.from_bytes`.
+    """
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    extents: List[TupleExtent] = []
+    header_size = _HEADER.size
+    length = len(view)
+    for _ in range(count):
+        try:
+            flags, _relation_id, start, seq, klen, plen = \
+                _HEADER.unpack_from(view, offset)
+        except struct.error as exc:
+            raise PageFormatError("truncated tuple header") from exc
+        body_end = offset + header_size + klen + plen
+        if body_end > length:
+            raise PageFormatError("truncated tuple body")
+        extents.append(TupleExtent(seq, bool(flags & _FLAG_STAMPED),
+                                   start, view[offset:body_end]))
+        offset = body_end
+    return extents

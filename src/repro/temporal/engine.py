@@ -40,6 +40,7 @@ from ..btree.events import SplitEvent, TimeSplitEvent
 from ..common.clock import SimulatedClock
 from ..common.codec import Schema, decode_key, encode_key
 from ..common.config import EngineConfig
+from ..crypto.pool import DigestPool
 from ..common.errors import (ConfigError, DuplicateKeyError,
                              KeyNotFoundError, RelationNotFoundError,
                              TransactionAborted, TransactionError,
@@ -124,6 +125,12 @@ class Engine:
             "btree_time_splits_total",
             help="time splits migrating history to WORM pages")
 
+        #: shared digest workers (``hash_workers`` knob); the compliance
+        #: plugin and auditors pick this up from the engine so one pool
+        #: serves the whole database
+        self.digest_pool = DigestPool(self.config.hash_workers,
+                                      registry=registry)
+
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.pager = Pager(self.data_dir / "data.db", self.config.page_size,
                            sync_writes=self.config.sync_writes,
@@ -201,6 +208,7 @@ class Engine:
         (self.data_dir / "clean_shutdown").touch()
         self.wal.close()
         self.pager.close()
+        self.digest_pool.close()
 
     def was_clean_shutdown(self) -> bool:
         """Whether the previous incarnation closed cleanly.
@@ -454,6 +462,22 @@ class Engine:
         payload = info.schema.encode_payload(row)
         self._write_version(txn, info, key, payload, eol=False,
                             kind="insert")
+
+    def insert_many(self, txn: Transaction, relation: str,
+                    rows: List[Dict[str, Any]]) -> None:
+        """Insert a batch of new tuples into one relation.
+
+        Equivalent to one :meth:`insert` per row, but payloads are
+        encoded through the schema's precompiled batch codec
+        (:meth:`~repro.common.codec.Schema.encode_batch`), which skips
+        the per-field dispatch of the scalar path.
+        """
+        info = self._require_relation(relation)
+        payloads = info.schema.encode_batch(rows)
+        for row, payload in zip(rows, payloads):
+            key = info.schema.encode_key_from_row(row)
+            self._write_version(txn, info, key, payload, eol=False,
+                                kind="insert")
 
     def update(self, txn: Transaction, relation: str,
                row: Dict[str, Any]) -> None:

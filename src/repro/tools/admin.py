@@ -156,6 +156,10 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(db.metrics(), indent=2, sort_keys=True))
     else:
+        # metrics() also mirrors the process-wide hash work counters
+        # (hash_sha512_calls / hash_memo_hits) into the registry, so
+        # both exporters show digest-pool and hash-work gauges
+        db.metrics()
         sys.stdout.write(prometheus_text(db.obs.registry))
     db.close()
     return 0

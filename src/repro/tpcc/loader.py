@@ -64,9 +64,20 @@ class TPCCLoader:
             self._flush_batch(batch)
 
     def _flush_batch(self, batch) -> None:
+        # consecutive same-relation runs go through the batched codec;
+        # insertion order (and hence every tuple's page placement and
+        # compliance record) is exactly that of the per-row loop
         with self._db.transaction() as txn:
+            run_relation: str = ""
+            run_rows: list = []
             for relation, row in batch:
-                self._db.insert(txn, relation, row)
+                if relation != run_relation and run_rows:
+                    self._db.insert_many(txn, run_relation, run_rows)
+                    run_rows = []
+                run_relation = relation
+                run_rows.append(row)
+            if run_rows:
+                self._db.insert_many(txn, run_relation, run_rows)
 
     def _load_items(self) -> None:
         def rows():

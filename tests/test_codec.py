@@ -82,6 +82,88 @@ class TestSchema:
             Schema("bad", [Field("a", FieldType.INT)], [])
 
 
+row_strategy = st.fixed_dictionaries({
+    "acct_id": st.integers(min_value=-2**63, max_value=2**63 - 1),
+    "owner": st.text(max_size=20),
+    "balance": st.floats(allow_nan=False, allow_infinity=False),
+    "blob": st.binary(max_size=16),
+})
+
+
+def make_fixed_schema():
+    """All fixed-width columns: the decode_batch single-unpack lane."""
+    return Schema("ledger", [
+        Field("entry_id", FieldType.INT),
+        Field("amount", FieldType.FLOAT),
+        Field("epoch", FieldType.INT),
+    ], key_fields=["entry_id"])
+
+
+class TestBatchCodec:
+    @given(st.lists(row_strategy, max_size=20))
+    def test_encode_batch_matches_per_row(self, rows):
+        schema = make_schema()
+        assert schema.encode_batch(rows) == \
+            [schema.encode_payload(row) for row in rows]
+
+    @given(st.lists(row_strategy, max_size=20))
+    def test_decode_batch_round_trips(self, rows):
+        schema = make_schema()
+        payloads = schema.encode_batch(rows)
+        assert schema.decode_batch(payloads) == rows
+        assert schema.decode_batch(payloads) == \
+            [schema.decode_payload(p) for p in payloads]
+
+    @given(st.lists(st.fixed_dictionaries({
+        "entry_id": st.integers(min_value=-2**63, max_value=2**63 - 1),
+        "amount": st.floats(allow_nan=False, allow_infinity=False),
+        "epoch": st.integers(min_value=-2**63, max_value=2**63 - 1),
+    }), max_size=20))
+    def test_all_fixed_fast_lane_round_trips(self, rows):
+        schema = make_fixed_schema()
+        payloads = schema.encode_batch(rows)
+        assert schema.decode_batch(payloads) == rows
+        assert schema.decode_batch(payloads) == \
+            [schema.decode_payload(p) for p in payloads]
+
+    def test_batch_trailing_bytes_rejected(self):
+        for schema, row in (
+                (make_schema(), {"acct_id": 1, "owner": "x",
+                                 "balance": 1.0, "blob": b""}),
+                (make_fixed_schema(), {"entry_id": 1, "amount": 1.0,
+                                       "epoch": 2})):
+            raw = schema.encode_payload(row)
+            with pytest.raises(CodecError):
+                schema.decode_batch([raw, raw + b"\x00"])
+
+    def test_batch_truncated_rejected(self):
+        for schema, row in (
+                (make_schema(), {"acct_id": 1, "owner": "xyz",
+                                 "balance": 1.0, "blob": b"abc"}),
+                (make_fixed_schema(), {"entry_id": 1, "amount": 1.0,
+                                       "epoch": 2})):
+            raw = schema.encode_payload(row)
+            with pytest.raises(CodecError):
+                schema.decode_batch([raw, raw[:-1]])
+
+    def test_encode_batch_missing_field_rejected(self):
+        schema = make_schema()
+        good = {"acct_id": 1, "owner": "x", "balance": 1.0, "blob": b""}
+        with pytest.raises(CodecError):
+            schema.encode_batch([good, {"acct_id": 2}])
+
+    def test_encode_batch_bool_rejected_for_int(self):
+        schema = make_fixed_schema()
+        with pytest.raises(CodecError):
+            schema.encode_batch([{"entry_id": True, "amount": 1.0,
+                                  "epoch": 0}])
+
+    def test_empty_batch(self):
+        schema = make_schema()
+        assert schema.encode_batch([]) == []
+        assert schema.decode_batch([]) == []
+
+
 class TestKeyCodec:
     def test_round_trip_mixed(self):
         key = (5, "hello", b"\x00world", -3, 2.5)
