@@ -53,8 +53,14 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench import build_db, make_driver  # noqa: E402
-from repro.common.config import ComplianceMode  # noqa: E402
-from repro.core import Auditor, ParallelAuditor  # noqa: E402
+from repro.common.clock import SimulatedClock  # noqa: E402
+from repro.common.codec import Field, FieldType, Schema  # noqa: E402
+from repro.common.config import ComplianceMode, DBConfig  # noqa: E402
+from repro.common.errors import ServerRequestError  # noqa: E402
+from repro.core import Auditor, CompliantDB, ParallelAuditor  # noqa: E402
+from repro.crypto import AuditorKey  # noqa: E402
+from repro.server import (ComplianceServer, ServerClient,  # noqa: E402
+                          ServerConfig, replay_history)
 from repro.tpcc import TPCCScale  # noqa: E402
 
 #: Fig 3(a)'s cache ratio: 256 MB of a 2.5 GB database
@@ -72,6 +78,12 @@ AUDIT_CHUNK_PAGES = 64
 
 MODES = (ComplianceMode.REGULAR, ComplianceMode.LOG_CONSISTENT,
          ComplianceMode.HASH_ON_READ)
+
+#: connection counts for the multi-client server section
+SERVER_CONNECTIONS = (1, 4, 16, 64)
+#: key-space width for the server workload — small enough that clients
+#: genuinely collide and the retry path is exercised
+SERVER_KEYS = 32
 
 
 def _worm_counters(metrics: dict) -> dict:
@@ -324,13 +336,161 @@ def measure_audit_scaling(txns: int, root: Path,
     }
 
 
+def _percentile_ms(sorted_ms: list, q: float):
+    if not sorted_ms:
+        return None
+    index = min(len(sorted_ms) - 1,
+                int(round(q * (len(sorted_ms) - 1))))
+    return round(sorted_ms[index], 3)
+
+
+def measure_server_concurrency(root: Path,
+                               connections: tuple = SERVER_CONNECTIONS,
+                               total_txns: int = 256) -> dict:
+    """Multi-client server: throughput + latency vs connection count.
+
+    For each (mode, connection count) cell a fresh database is served
+    in-process and N threaded clients split ``total_txns`` read-write
+    transactions over a small key space, retrying on ``CONFLICT`` and
+    ``BUSY``.  Work is held constant across cells so the sweep measures
+    contention and dispatch cost, not workload growth.  Each cell is
+    gated: the history journal the server records is replayed serially
+    into an identically seeded database and both audit reports must be
+    identical (``AuditReport.comparable()``) — the concurrent run's
+    compliance log is only trustworthy if it *is* a serial history.
+    """
+    import threading
+
+    schema = Schema("kv", [Field("k", FieldType.INT),
+                           Field("v", FieldType.STR)],
+                    key_fields=["k"])
+    mismatches: list = []
+    out: dict = {}
+    for mode in (ComplianceMode.LOG_CONSISTENT,
+                 ComplianceMode.HASH_ON_READ):
+        per_mode: dict = {}
+        for conns in connections:
+            tag = f"server-{mode.value}-{conns}"
+            key = AuditorKey.generate()
+            db = CompliantDB.create(root / tag,
+                                    DBConfig.for_mode(mode),
+                                    clock=SimulatedClock(),
+                                    auditor_key=key)
+            server = ComplianceServer(db, ServerConfig(
+                max_queue_depth=max(64, 2 * conns),
+                record_history=True)).start()
+            db.create_relation(schema)
+            server.service._record(
+                ("create_relation", "kv",
+                 [("k", "int"), ("v", "str")], ["k"], None))
+            ops_per_conn = max(1, total_txns // conns)
+            latencies: list = []
+            lat_lock = threading.Lock()
+            committed = [0]
+            errors: list = []
+
+            def worker(wid, server=server, ops=ops_per_conn):
+                import random
+                rng = random.Random(wid)
+                mine: list = []
+                done = 0
+                try:
+                    with ServerClient(*server.address) as client:
+                        for i in range(ops):
+                            k = rng.randrange(SERVER_KEYS)
+                            value = f"w{wid}i{i}"
+                            for _attempt in range(50):
+                                started = time.perf_counter()
+                                try:
+                                    txn = client.begin()
+                                    row = client.get("kv", (k,),
+                                                     txn=txn)
+                                    if row is None:
+                                        client.insert(
+                                            txn, "kv",
+                                            {"k": k, "v": value})
+                                    else:
+                                        client.update(
+                                            txn, "kv",
+                                            {"k": k, "v": value})
+                                    client.commit(txn)
+                                except ServerRequestError as exc:
+                                    if exc.retryable:
+                                        time.sleep(0.0005)
+                                        continue
+                                    raise
+                                mine.append(time.perf_counter() -
+                                            started)
+                                done += 1
+                                break
+                except Exception as exc:  # noqa: BLE001 - reported
+                    errors.append(f"w{wid}: {exc!r}")
+                with lat_lock:
+                    latencies.extend(mine)
+                    committed[0] += done
+
+            threads = [threading.Thread(target=worker, args=(w,))
+                       for w in range(conns)]
+            wall_start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - wall_start
+            server.shutdown()
+            history = server.service.history_snapshot()
+
+            live = Auditor(db).audit(rotate=False)
+            replay_db = CompliantDB.create(root / f"{tag}-replay",
+                                           DBConfig.for_mode(mode),
+                                           clock=SimulatedClock(),
+                                           auditor_key=key)
+            replay_history(replay_db, history)
+            serial = Auditor(replay_db).audit(rotate=False)
+            cell_ok = (live.ok and serial.ok and
+                       live.comparable() == serial.comparable() and
+                       not errors)
+            if not cell_ok:
+                mismatches.append(f"{mode.value}/{conns}")
+            metrics = db.metrics()["counters"]
+            sorted_ms = sorted(value * 1000.0 for value in latencies)
+            per_mode[str(conns)] = {
+                "connections": conns,
+                "txns_per_connection": ops_per_conn,
+                "committed": committed[0],
+                "wall_seconds": round(wall, 4),
+                "tps": round(committed[0] / wall, 2) if wall else None,
+                "latency_ms": {
+                    "p50": _percentile_ms(sorted_ms, 0.50),
+                    "p95": _percentile_ms(sorted_ms, 0.95),
+                    "p99": _percentile_ms(sorted_ms, 0.99),
+                },
+                "conflicts": metrics.get(
+                    "txn_lock_conflicts_total", 0),
+                "busy_rejections": metrics.get("server_busy_total", 0),
+                "history_ops": len(history),
+                "audit_and_replay_ok": cell_ok,
+                "errors": errors,
+            }
+            db.close()
+            replay_db.close()
+        out[mode.value] = per_mode
+    return {
+        "total_txns_per_cell": total_txns,
+        "key_space": SERVER_KEYS,
+        "modes": out,
+        "reports_match": not mismatches,
+        "mismatched_cells": mismatches,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--txns", type=int, default=600,
                         help="transactions per mode (default 600)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent /
-                        "BENCH_PR6.json")
+                        "BENCH_PR7.json")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="embed a previously captured report")
     parser.add_argument("--check-baseline", type=Path, default=None,
@@ -359,6 +519,13 @@ def main(argv=None) -> int:
                         help="comma-separated worker counts for the "
                              "audit-scaling section (default 2,4,8; "
                              "2 under --quick)")
+    parser.add_argument("--server-only", action="store_true",
+                        help="run only the concurrent-clients server "
+                             "section")
+    parser.add_argument("--connections", default=None,
+                        help="comma-separated connection counts for the "
+                             "server section (default 1,4,16,64; "
+                             "1,4 under --quick)")
     args = parser.parse_args(argv)
     if args.quick:
         args.txns = min(args.txns, 120)
@@ -381,19 +548,37 @@ def main(argv=None) -> int:
             parser.error("--audit-workers counts must be >= 1")
     else:
         worker_counts = (2,) if args.quick else (2, 4, 8)
+    if args.audit_only and args.server_only:
+        parser.error("--audit-only and --server-only are exclusive")
+    if args.connections is not None:
+        try:
+            server_connections = tuple(
+                int(part) for part in args.connections.split(","))
+        except ValueError:
+            parser.error("--connections must be comma-separated ints")
+        if any(count < 1 for count in server_connections):
+            parser.error("--connections counts must be >= 1")
+    else:
+        server_connections = (1, 4) if args.quick \
+            else SERVER_CONNECTIONS
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         report = {}
-        if not args.audit_only:
+        if not args.audit_only and not args.server_only:
             report = run_sweep(args.txns, Path(tmp),
                                repeats=1 if args.quick else args.repeats)
             report["instrumentation_overhead"] = measure_obs_overhead(
                 args.txns, Path(tmp))
             report["digest_equivalence"] = measure_digest_equivalence(
                 args.txns, Path(tmp), workers=args.hash_workers)
-        report["audit_scaling"] = measure_audit_scaling(
-            args.txns, Path(tmp), worker_counts=worker_counts,
-            repeats=1 if args.quick else 2)
+        if not args.server_only:
+            report["audit_scaling"] = measure_audit_scaling(
+                args.txns, Path(tmp), worker_counts=worker_counts,
+                repeats=1 if args.quick else 2)
+        if not args.audit_only:
+            report["server_concurrency"] = measure_server_concurrency(
+                Path(tmp), connections=server_connections,
+                total_txns=64 if args.quick else 256)
     report = {"label": args.label, "transactions_per_mode": args.txns,
               "scale": "small", "quick": args.quick, **report}
     if args.baseline is not None:
@@ -418,17 +603,32 @@ def main(argv=None) -> int:
         print(f"  digest equivalence (workers="
               f"{equiv['hash_workers']}): reports {verdict} "
               f"({pooled['submitted']} pooled submissions)")
-    audit = report["audit_scaling"]
-    print(f"  audit serial: {audit['serial_seconds']}s over "
-          f"{audit['pages_scanned']} pages / "
-          f"{audit['log_records']} log records")
-    for count, entry in audit["workers"].items():
-        print(f"  audit {count} workers: {entry['elapsed_seconds']}s "
-              f"({entry['speedup']}x)")
+    audit = report.get("audit_scaling")
+    if audit is not None:
+        print(f"  audit serial: {audit['serial_seconds']}s over "
+              f"{audit['pages_scanned']} pages / "
+              f"{audit['log_records']} log records")
+        for count, entry in audit["workers"].items():
+            print(f"  audit {count} workers: "
+                  f"{entry['elapsed_seconds']}s "
+                  f"({entry['speedup']}x)")
+    server = report.get("server_concurrency")
+    if server is not None:
+        for mode, cells in server["modes"].items():
+            for count, cell in cells.items():
+                lat = cell["latency_ms"]
+                print(f"  server {mode} x{count}: "
+                      f"{cell['tps']} txn/s, p50 {lat['p50']}ms, "
+                      f"p95 {lat['p95']}ms, p99 {lat['p99']}ms "
+                      f"({cell['conflicts']} conflicts)")
     failed = False
-    if not audit["reports_match"]:
+    if audit is not None and not audit["reports_match"]:
         print("  FAIL: parallel audit report(s) differ from serial: "
               f"{audit['mismatched_configs']}", file=sys.stderr)
+        failed = True
+    if server is not None and not server["reports_match"]:
+        print("  FAIL: concurrent server audit/replay mismatch: "
+              f"{server['mismatched_cells']}", file=sys.stderr)
         failed = True
     if equiv is not None and not equiv["reports_match"]:
         print("  FAIL: pooled digests differ from inline digests",

@@ -149,3 +149,41 @@ class AuditError(ComplianceError):
 
 class ShreddingError(ComplianceError):
     """The vacuum/shredding protocol was violated."""
+
+
+# --------------------------------------------------------------------------
+# Compliance server (network front-end)
+# --------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for compliance-server failures."""
+
+
+class ServerBusyError(ServerError):
+    """Admission control rejected a request: the single-writer queue is
+    at its depth limit.  Retryable — the client should back off."""
+
+
+class ServerShutdownError(ServerError):
+    """The server is draining; no new requests are accepted."""
+
+
+class ServerProtocolError(ServerError):
+    """A wire frame was malformed (bad length prefix, oversized frame,
+    truncated payload, or non-JSON content)."""
+
+
+class ServerRequestError(ServerError):
+    """A request was rejected by the server (client-side surface).
+
+    Carries the protocol error ``code`` and whether the failure is
+    ``retryable`` (lock conflicts, backpressure) or fatal (compliance
+    halt, bad request).
+    """
+
+    def __init__(self, code: str, message: str,
+                 retryable: bool = False) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retryable = retryable

@@ -41,7 +41,7 @@ from ..crypto import AuditorKey
 from ..obs import Observability, metrics_report, publish_hash_stats
 from ..temporal.engine import Engine, RecoveryReport
 from ..worm import WormServer
-from .compliance_log import ComplianceLog
+from .compliance_log import ComplianceLog, aux_name
 from .holds import HOLDS_SCHEMA, HoldManager
 from .plugin import CompliancePlugin
 from .shredding import EXPIRY_SCHEMA, Shredder
@@ -103,6 +103,12 @@ class CompliantDB:
             self.engine.buffer.mark_dirty(meta)
         else:
             self._check_mode_marker()
+            # a reopened database may be handed a *fresh* SimulatedClock
+            # (repro-admin, repro.server): fast-forward past every
+            # persisted timestamp, or new commits would stamp earlier
+            # than records already in L and fail the auditor's
+            # stamp-order check
+            clock.advance_to(self._persisted_high_time())
 
         if mode is not ComplianceMode.REGULAR:
             self.clog = ComplianceLog(self.worm, self.epoch,
@@ -214,6 +220,24 @@ class CompliantDB:
             raise ConfigError(
                 f"database was created in mode {marker['mode']!r}")
 
+    def _persisted_high_time(self) -> int:
+        """Highest timestamp recoverable from durable state.
+
+        Sources: WORM file creation times (the trusted box's clock
+        survives restarts) and the current epoch's auxiliary stamp
+        index (exact commit times).  REGULAR mode has neither and
+        returns 0 — a no-op fast-forward.
+        """
+        from .records import iter_aux
+        high = 0
+        for name in self.worm.list_files():
+            high = max(high, self.worm.meta(name).create_time)
+        aux = aux_name(self.epoch)
+        if self.worm.exists(aux):
+            for entry in iter_aux(self.worm.read(aux)):
+                high = max(high, entry.commit_time)
+        return high
+
     # -- epoch bookkeeping -------------------------------------------------------------
 
     @property
@@ -264,6 +288,14 @@ class CompliantDB:
     def transaction(self):
         """Context manager: commit on success, abort on exception."""
         return self.engine.transaction()
+
+    @property
+    def halted(self) -> bool:
+        """Whether transaction processing is halted (a commit/abort
+        listener failed after the durable outcome; see
+        :mod:`repro.txn.manager`).  Repair with :meth:`crash` +
+        :meth:`recover`."""
+        return self.engine.txns.halted
 
     def create_relation(self, schema: Schema,
                         use_tsb: Optional[bool] = None):

@@ -1,0 +1,31 @@
+"""Multi-client network front-end for the compliant database.
+
+See DESIGN.md §11: a length-prefixed JSON frame protocol, per-connection
+sessions owning their transactions, a single-writer executor serialising
+every database touch, queue-depth admission control with explicit
+``BUSY`` backpressure, and graceful drain on shutdown.
+"""
+
+from .client import ServerClient
+from .frontend import ComplianceServer, ServerConfig
+from .protocol import (MAX_FRAME_BYTES, RETRYABLE_CODES, map_exception,
+                       recv_frame, send_frame, wire_decode, wire_encode)
+from .service import (ComplianceService, Session, SingleWriterExecutor,
+                      replay_history)
+
+__all__ = [
+    "ComplianceServer",
+    "ComplianceService",
+    "MAX_FRAME_BYTES",
+    "RETRYABLE_CODES",
+    "ServerClient",
+    "ServerConfig",
+    "Session",
+    "SingleWriterExecutor",
+    "map_exception",
+    "recv_frame",
+    "replay_history",
+    "send_frame",
+    "wire_decode",
+    "wire_encode",
+]

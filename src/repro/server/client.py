@@ -1,0 +1,156 @@
+"""Thin synchronous client for the compliance server.
+
+One socket, one outstanding request at a time — the shape the tests and
+the bench need.  Failures come back as
+:class:`~repro.common.errors.ServerRequestError` carrying the protocol
+error code and the server's retryable verdict, so callers can write
+honest retry loops::
+
+    try:
+        client.insert(txn, "accounts", row)
+    except ServerRequestError as exc:
+        if exc.code == CONFLICT:
+            ...  # txn is gone (server aborted it); begin a fresh one
+        elif exc.retryable:
+            ...  # BUSY: back off and resend the same request
+        else:
+            raise
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..common.errors import ServerProtocolError, ServerRequestError
+from .protocol import recv_frame, send_frame, wire_decode, wire_encode
+
+
+class ServerClient:
+    """Blocking frame-protocol client (context manager)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._next_id = 1
+
+    # -- plumbing ------------------------------------------------------------
+
+    def request(self, op: str, **args: Any) -> Dict[str, Any]:
+        """One round-trip; returns the result object or raises
+        :class:`ServerRequestError` with the server's code."""
+        request_id = self._next_id
+        self._next_id += 1
+        send_frame(self._sock, {"op": op, "args": args,
+                                "id": request_id})
+        response = recv_frame(self._sock)
+        if response is None:
+            raise ServerProtocolError(
+                "server closed the connection mid-request")
+        if response.get("id") != request_id:
+            raise ServerProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id}")
+        if response.get("ok"):
+            result = response.get("result")
+            return result if isinstance(result, dict) else {}
+        raise ServerRequestError(
+            str(response.get("error", "ERROR")),
+            str(response.get("message", "")),
+            retryable=bool(response.get("retryable")))
+
+    def close(self) -> None:
+        """Close the connection (open transactions are aborted
+        server-side)."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- convenience ops -----------------------------------------------------
+
+    def ping(self) -> bool:
+        """Liveness check (never touches the writer queue)."""
+        return bool(self.request("ping").get("pong"))
+
+    def info(self) -> Dict[str, Any]:
+        """Server/database status (mode, epoch, relations, halted)."""
+        return self.request("info")
+
+    def metrics(self) -> Dict[str, Any]:
+        """Full metrics report of the server's database stack."""
+        return self.request("metrics")["metrics"]
+
+    def begin(self) -> int:
+        """Open a transaction owned by this connection; returns its id."""
+        return int(self.request("begin")["txn"])
+
+    def commit(self, txn: int) -> int:
+        """Commit; returns the commit time."""
+        return int(self.request("commit", txn=txn)["commit_time"])
+
+    def abort(self, txn: int) -> None:
+        """Roll back."""
+        self.request("abort", txn=txn)
+
+    def create_relation(self, name: str,
+                        fields: List[Tuple[str, str]],
+                        key: List[str],
+                        use_tsb: Optional[bool] = None) -> None:
+        """Create a relation; ``fields`` are (name, type-string) pairs
+        using the :class:`~repro.common.codec.FieldType` values."""
+        self.request("create_relation", name=name,
+                     fields=[list(pair) for pair in fields],
+                     key=list(key), use_tsb=use_tsb)
+
+    def insert(self, txn: int, relation: str,
+               row: Dict[str, Any]) -> None:
+        """Insert a row inside a transaction."""
+        self.request("insert", txn=txn, relation=relation,
+                     row=wire_encode(row))
+
+    def update(self, txn: int, relation: str,
+               row: Dict[str, Any]) -> None:
+        """Write a new version of an existing row."""
+        self.request("update", txn=txn, relation=relation,
+                     row=wire_encode(row))
+
+    def delete(self, txn: int, relation: str,
+               key: Tuple[Any, ...]) -> None:
+        """Logically delete a row."""
+        self.request("delete", txn=txn, relation=relation,
+                     key=wire_encode(list(key)))
+
+    def get(self, relation: str, key: Tuple[Any, ...],
+            txn: Optional[int] = None,
+            at: Optional[int] = None) -> Optional[Dict[str, Any]]:
+        """Read a row, current or as of a past time."""
+        row = self.request("get", relation=relation,
+                           key=wire_encode(list(key)), txn=txn,
+                           at=at)["row"]
+        return wire_decode(row) if row is not None else None
+
+    def scan(self, relation: str, lo: Optional[Tuple[Any, ...]] = None,
+             hi: Optional[Tuple[Any, ...]] = None,
+             txn: Optional[int] = None, at: Optional[int] = None
+             ) -> List[Tuple[Tuple[Any, ...], Dict[str, Any]]]:
+        """Range scan; returns (key tuple, row) pairs."""
+        rows = self.request(
+            "scan", relation=relation,
+            lo=wire_encode(list(lo)) if lo is not None else None,
+            hi=wire_encode(list(hi)) if hi is not None else None,
+            txn=txn, at=at)["rows"]
+        return [(wire_decode(key, as_key=True), wire_decode(row))
+                for key, row in rows]
+
+    def crash_recover(self) -> Dict[str, Any]:
+        """Simulated crash + recovery (servers started with
+        ``allow_crash_ops`` only).  Every open transaction dies."""
+        return self.request("crash_recover")

@@ -1,0 +1,258 @@
+"""TCP front-end: sockets, sessions, backpressure, graceful drain.
+
+One accept thread plus one thread per connection.  Connection threads
+only parse frames and marshal requests into the
+:class:`~repro.server.service.ComplianceService`; every database touch
+happens on the service's single writer thread, so the engine below never
+sees concurrency.  Admission control lives in the service's executor —
+when the writer queue is at its depth cap the connection thread gets a
+:class:`~repro.common.errors.ServerBusyError` immediately and answers
+``BUSY`` (retryable) instead of queueing, which bounds both memory and
+tail latency under overload.
+
+Shutdown is a drain: the listener closes, in-flight requests finish,
+every session's open transactions are aborted (their locks would
+otherwise leak), and only then does the writer thread stop.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..common.errors import ServerProtocolError, ServerShutdownError
+from ..obs import DEFAULT_LATENCY_BUCKETS, Observability
+from .protocol import (BAD_REQUEST, map_exception, recv_frame,
+                       send_frame)
+from .service import ComplianceService, Session
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`ComplianceServer` instance."""
+
+    host: str = "127.0.0.1"
+    #: 0 = let the OS pick (the bound port is ``server.port``)
+    port: int = 0
+    #: admission-control cap on queued + executing requests
+    max_queue_depth: int = 64
+    #: seconds to wait for connection threads during shutdown
+    drain_timeout: float = 30.0
+    #: expose the ``crash_recover`` op (test/bench harnesses only)
+    allow_crash_ops: bool = False
+    #: journal successful ops for serial replay / audit equivalence
+    record_history: bool = False
+
+
+class ComplianceServer:
+    """Serve a CompliantDB to many clients over the frame protocol."""
+
+    def __init__(self, db: Any, config: Optional[ServerConfig] = None,
+                 obs: Optional[Observability] = None):
+        self.config = config if config is not None else ServerConfig()
+        self.obs = obs if obs is not None else db.obs
+        self.service = ComplianceService(
+            db, max_queue_depth=self.config.max_queue_depth,
+            record_history=self.config.record_history,
+            allow_crash_ops=self.config.allow_crash_ops,
+            obs=self.obs)
+        self._registry = self.obs.registry
+        #: serialises registry access — connection threads race on the
+        #: label-children dicts and on counter increments otherwise
+        self._metrics_lock = threading.Lock()
+        self._c_connections = self._registry.counter(
+            "server_connections_total", help="connections accepted")
+        self._g_sessions = self._registry.gauge(
+            "server_sessions_active", help="connected client sessions")
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._conns: List[Tuple[socket.socket, threading.Thread]] = []
+        self._draining = False
+        self.port: int = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ComplianceServer":
+        """Bind, listen, and start accepting (returns self)."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(128)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self.service.executor.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept",
+            daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight requests,
+        abort orphaned transactions, stop the writer thread."""
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+            conns = list(self._conns)
+        if self._listener is not None:
+            # close() alone never wakes a thread blocked in accept()
+            # on Linux; shutdown() interrupts it with an OSError (and
+            # itself raises EINVAL on an unconnected listener — fine)
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=self.config.drain_timeout)
+        # nudge connection threads out of recv(); in-flight requests
+        # already inside _handle still complete before the close lands
+        for sock, _ in conns:
+            try:
+                sock.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        for _, thread in conns:
+            thread.join(timeout=self.config.drain_timeout)
+        self.service.drain_sessions()
+        self.service.executor.stop(drain=True)
+
+    def __enter__(self) -> "ComplianceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) clients should connect to."""
+        return (self.config.host, self.port)
+
+    # -- connection handling -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                sock, _peer = self._listener.accept()
+            except OSError:  # listener closed: drain has begun
+                return
+            with self._lock:
+                if self._draining:
+                    sock.close()
+                    return
+                with self._metrics_lock:
+                    self._c_connections.inc()
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(sock,),
+                    name="repro-server-conn", daemon=True)
+                self._conns.append((sock, thread))
+            thread.start()
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        session = self.service.open_session()
+        with self._metrics_lock:
+            self._g_sessions.set(self.service.session_count)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while True:
+                try:
+                    request = recv_frame(sock)
+                except ServerProtocolError as exc:
+                    # protocol damage is unrecoverable on a byte
+                    # stream: answer if possible, then hang up
+                    self._try_send(sock, self._error_response(
+                        None, exc))
+                    return
+                if request is None:  # clean EOF
+                    return
+                response = self._handle(session, request)
+                if not self._try_send(sock, response):
+                    return
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
+            with self._lock:
+                self._conns = [(s, t) for s, t in self._conns
+                               if s is not sock]
+            self.service.close_session(session)
+            with self._metrics_lock:
+                self._g_sessions.set(self.service.session_count)
+
+    def _handle(self, session: Session,
+                request: Dict[str, Any]) -> Dict[str, Any]:
+        request_id = request.get("id")
+        op = request.get("op")
+        if not isinstance(op, str):
+            self._count_request("?")
+            self._count_error(BAD_REQUEST)
+            return {"ok": False, "error": BAD_REQUEST,
+                    "message": "request needs a string 'op'",
+                    "retryable": False, "id": request_id}
+        args = request.get("args") or {}
+        self._count_request(op)
+        start = time.perf_counter()
+        try:
+            if self._draining:
+                raise ServerShutdownError("server is draining")
+            if not isinstance(args, dict):
+                raise ServerProtocolError("'args' must be an object")
+            result = self.service.execute(session, op, args)
+            return {"ok": True, "result": result, "id": request_id}
+        except BaseException as exc:
+            return self._error_response(request_id, exc)
+        finally:
+            self._observe_latency(op, time.perf_counter() - start)
+
+    def _error_response(self, request_id: Any,
+                        exc: BaseException) -> Dict[str, Any]:
+        if isinstance(exc, (KeyError, TypeError, ValueError)):
+            code, retryable = BAD_REQUEST, False
+            message = f"malformed request: {exc!r}"
+        else:
+            code, retryable = map_exception(exc)
+            message = str(exc) or exc.__class__.__name__
+        self._count_error(code)
+        return {"ok": False, "error": code, "message": message,
+                "retryable": retryable, "id": request_id}
+
+    # -- metrics (connection threads: registry access must be guarded) ------
+
+    def _count_request(self, op: str) -> None:
+        with self._metrics_lock:
+            self._registry.counter(
+                "server_requests_total", help="requests received",
+                op=op).inc()
+
+    def _count_error(self, code: str) -> None:
+        with self._metrics_lock:
+            self._registry.counter(
+                "server_errors_total", help="error responses sent",
+                code=code).inc()
+
+    def _observe_latency(self, op: str, seconds: float) -> None:
+        with self._metrics_lock:
+            self._registry.histogram(
+                "server_request_seconds",
+                buckets=DEFAULT_LATENCY_BUCKETS,
+                help="request service time (receipt to response)",
+                op=op).observe(seconds)
+
+    @staticmethod
+    def _try_send(sock: socket.socket,
+                  payload: Dict[str, Any]) -> bool:
+        try:
+            send_frame(sock, payload)
+            return True
+        except OSError:
+            return False

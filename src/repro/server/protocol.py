@@ -1,0 +1,187 @@
+"""Wire protocol for the multi-client compliance server.
+
+Frame format — length-prefixed JSON, symmetric in both directions::
+
+    +----------------+---------------------------+
+    | length (4B LE) | UTF-8 JSON object (bytes) |
+    +----------------+---------------------------+
+
+The length covers only the JSON payload.  Frames above
+:data:`MAX_FRAME_BYTES` are rejected before any allocation, so a
+corrupt or hostile length prefix cannot balloon server memory.
+
+Requests are ``{"op": <name>, "args": {...}, "id": <opaque>}`` — ``id``
+is optional and echoed verbatim on the response so clients may pipeline.
+Responses are either::
+
+    {"ok": true,  "result": {...}, "id": ...}
+    {"ok": false, "error": CODE, "message": str, "retryable": bool,
+     "id": ...}
+
+Error codes (see :func:`map_exception`):
+
+==============  ============================================  =========
+code            meaning                                       retryable
+==============  ============================================  =========
+``CONFLICT``    strict-2PL lock conflict / first-writer-wins  yes
+``BUSY``        admission control: writer queue at depth cap  yes
+``SHUTDOWN``    server draining                               no
+``HALTED``      compliance halt — processing stopped          no
+``TXN_STATE``   unknown/resolved transaction handle           no
+``NOT_FOUND``   relation/key/file absent                      no
+``EXISTS``      duplicate key / relation exists               no
+``BAD_REQUEST`` malformed op, args, or value encoding         no
+``ERROR``       any other library error                       no
+==============  ============================================  =========
+
+JSON cannot carry ``bytes`` or distinguish tuples from lists, so values
+cross the wire through :func:`wire_encode` / :func:`wire_decode`:
+``bytes`` become ``{"__bytes__": "<hex>"}`` and key tuples travel as
+JSON arrays (decoded back to tuples at the service boundary).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+from ..common.errors import (ComplianceHaltError, ComplianceLogError,
+                             DuplicateKeyError, KeyNotFoundError,
+                             LockConflictError, RelationNotFoundError,
+                             ReproError, ServerBusyError,
+                             ServerProtocolError, ServerShutdownError,
+                             TransactionAborted, TransactionStateError,
+                             WormFileExistsError, WormFileNotFoundError)
+
+#: hard cap on one frame's JSON payload (requests and responses alike)
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+_LEN = struct.Struct("<I")
+_BYTES_TAG = "__bytes__"
+
+# -- error codes ------------------------------------------------------------
+
+CONFLICT = "CONFLICT"
+BUSY = "BUSY"
+SHUTDOWN = "SHUTDOWN"
+HALTED = "HALTED"
+TXN_STATE = "TXN_STATE"
+NOT_FOUND = "NOT_FOUND"
+EXISTS = "EXISTS"
+BAD_REQUEST = "BAD_REQUEST"
+ERROR = "ERROR"
+
+#: codes a client may retry (after aborting the transaction for
+#: ``CONFLICT`` — see DESIGN.md §11)
+RETRYABLE_CODES = frozenset({CONFLICT, BUSY})
+
+
+def map_exception(exc: BaseException) -> tuple[str, bool]:
+    """(error code, retryable) for a library exception."""
+    if isinstance(exc, (LockConflictError, TransactionAborted)):
+        return CONFLICT, True
+    if isinstance(exc, ServerBusyError):
+        return BUSY, True
+    if isinstance(exc, ServerShutdownError):
+        return SHUTDOWN, False
+    if isinstance(exc, (ComplianceHaltError, ComplianceLogError)):
+        return HALTED, False
+    if isinstance(exc, TransactionStateError):
+        return TXN_STATE, False
+    if isinstance(exc, (KeyNotFoundError, RelationNotFoundError,
+                        WormFileNotFoundError)):
+        return NOT_FOUND, False
+    if isinstance(exc, (DuplicateKeyError, WormFileExistsError)):
+        return EXISTS, False
+    if isinstance(exc, ReproError):
+        return ERROR, False
+    return BAD_REQUEST, False
+
+
+# -- value encoding ---------------------------------------------------------
+
+
+def wire_encode(value: Any) -> Any:
+    """JSON-safe view of a Python value (bytes tagged, tuples listed)."""
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return {_BYTES_TAG: bytes(value).hex()}
+    if isinstance(value, (list, tuple)):
+        return [wire_encode(item) for item in value]
+    if isinstance(value, dict):
+        return {key: wire_encode(item) for key, item in value.items()}
+    return value
+
+
+def wire_decode(value: Any, *, as_key: bool = False) -> Any:
+    """Inverse of :func:`wire_encode`.
+
+    ``as_key=True`` turns the top-level list into a tuple (primary keys
+    are tuples throughout the engine).
+    """
+    if isinstance(value, dict):
+        if set(value) == {_BYTES_TAG}:
+            return bytes.fromhex(value[_BYTES_TAG])
+        return {key: wire_decode(item) for key, item in value.items()}
+    if isinstance(value, list):
+        decoded = [wire_decode(item) for item in value]
+        return tuple(decoded) if as_key else decoded
+    return value
+
+
+# -- framing ----------------------------------------------------------------
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """One wire frame for a request/response object."""
+    raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(raw) > MAX_FRAME_BYTES:
+        raise ServerProtocolError(
+            f"frame of {len(raw)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LEN.pack(len(raw)) + raw
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """``count`` bytes from the socket; None on EOF before the first
+    byte, :class:`ServerProtocolError` on EOF mid-read."""
+    parts = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ServerProtocolError(
+                f"connection closed mid-frame ({count - remaining}/"
+                f"{count} bytes)")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; None on a clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ServerProtocolError(
+            f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    raw = _recv_exact(sock, length) if length else b""
+    if raw is None:
+        raise ServerProtocolError("connection closed mid-frame")
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServerProtocolError(f"malformed frame payload: {exc}") \
+            from exc
+    if not isinstance(payload, dict):
+        raise ServerProtocolError("frame payload must be a JSON object")
+    return payload
+
+
+def send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Serialise and send one frame."""
+    sock.sendall(encode_frame(payload))

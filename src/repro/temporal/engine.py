@@ -502,14 +502,28 @@ class Engine:
         self.txns.locks.acquire(txn.txn_id, (info.relation_id, key),
                                 LockMode.EXCLUSIVE)
         last = info.tree.last_version(key)
-        if last is not None and last.start >= txn.txn_id:
-            if not last.stamped and last.start == txn.txn_id:
-                raise TransactionError(
-                    f"txn {txn.txn_id} already wrote this {info.name} "
-                    "tuple; a transaction writes each tuple at most once")
-            raise TransactionAborted(
-                f"write-write conflict on {info.name}: a version committed "
-                f"after txn {txn.txn_id} began — abort and retry")
+        if last is not None:
+            # An unstamped version's ``start`` is its writer's txn id.
+            # If that writer has already committed, the version
+            # logically carries the *commit time* — the lazy stamper
+            # just has not applied it yet — and first-writer-wins must
+            # test against it: comparing the raw txn id lets a
+            # transaction that began before that commit write a second
+            # version whose later stamp would break page sort order
+            # (eager timestamping already rejects this schedule).
+            last_time = self._resolved(last)
+            if last_time is None:
+                last_time = last.start
+            if last_time >= txn.txn_id:
+                if not last.stamped and last.start == txn.txn_id:
+                    raise TransactionError(
+                        f"txn {txn.txn_id} already wrote this "
+                        f"{info.name} tuple; a transaction writes each "
+                        "tuple at most once")
+                raise TransactionAborted(
+                    f"write-write conflict on {info.name}: a version "
+                    f"committed after txn {txn.txn_id} began — abort "
+                    "and retry")
         alive = (last is not None and not last.eol and
                  self._visible_to(last, txn))
         if kind == "insert" and alive:

@@ -13,6 +13,9 @@ Usage::
     python -m repro.tools.admin history   <db-path> <relation> <key…>
     python -m repro.tools.admin holds     <db-path>
     python -m repro.tools.admin metrics   <db-path> [--json]
+    python -m repro.tools.admin serve     <db-path> [--host H] [--port P]
+                                          [--max-queue-depth N]
+                                          [--allow-crash-ops]
 
 The tool opens the database read-mostly (audit/vacuum mutate WORM/epoch
 state exactly as their API counterparts do), runs recovery if the previous
@@ -165,6 +168,29 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from ..server import ComplianceServer, ServerConfig
+    db = _open(args.path, args.auditor)
+    config = ServerConfig(host=args.host, port=args.port,
+                          max_queue_depth=args.max_queue_depth,
+                          allow_crash_ops=args.allow_crash_ops)
+    server = ComplianceServer(db, config).start()
+    try:
+        host, port = server.address
+        print(f"serving {args.path} ({db.mode.value}) on {host}:{port}",
+              flush=True)
+        print("press Ctrl-C to drain and stop", flush=True)
+        import time as _time
+        while True:
+            _time.sleep(3600)
+    except KeyboardInterrupt:
+        print("draining...")
+    finally:
+        server.shutdown()
+        db.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-admin",
@@ -181,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("history", cmd_history, "history"),
         ("holds", cmd_holds, None),
         ("metrics", cmd_metrics, "metrics"),
+        ("serve", cmd_serve, "serve"),
     ]:
         cmd = sub.add_parser(name)
         cmd.add_argument("path", help="database directory")
@@ -212,6 +239,18 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--json", action="store_true",
                              help="JSON snapshot instead of Prometheus "
                                   "text")
+        elif extra == "serve":
+            cmd.add_argument("--host", default="127.0.0.1",
+                             help="bind address (default: 127.0.0.1)")
+            cmd.add_argument("--port", type=int, default=7911,
+                             help="TCP port; 0 lets the OS pick "
+                                  "(default: 7911)")
+            cmd.add_argument("--max-queue-depth", type=int, default=64,
+                             help="admission-control cap on queued + "
+                                  "executing requests (default: 64)")
+            cmd.add_argument("--allow-crash-ops", action="store_true",
+                             help="expose the crash_recover op "
+                                  "(test/bench harnesses)")
     return parser
 
 

@@ -72,6 +72,17 @@ class LockTable:
             f"txn {txn_id} denied {mode.value} on {resource!r}: held "
             f"{held_mode.value} by {sorted(holders)}")
 
+    def clear(self) -> None:
+        """Drop every lock (the crash primitive).
+
+        Resets the table *in place* so components holding a reference to
+        it (the engine, tests, a server session) keep observing the live
+        table after :meth:`TransactionManager.crash_reset` — replacing
+        the table object would silently strand them on a stale one.
+        """
+        self._locks.clear()
+        self._held.clear()
+
     def release_all(self, txn_id: int) -> None:
         """Release every lock a transaction holds (commit/abort time)."""
         for resource in self._held.pop(txn_id, set()):

@@ -14,6 +14,21 @@ Commit protocol (Section IV ordering):
    STAMP_TRANS record to the WORM log here, *after* the commit, as required
    ("the compliance logger must wait to write ABORT and STAMP_TRANS records
    until the transaction has actually committed/aborted").
+
+Listener failure semantics: by the time a listener runs, the commit (or
+abort) is already durable in the WAL, so a listener that raises — e.g. the
+compliance plugin failing its STAMP_TRANS append — means the compliance
+log has *diverged* from the WAL.  Continuing would silently widen the
+divergence, so the manager **halts**: the listener's exception poisons the
+manager, every later ``begin``/``commit``/``abort`` raises
+:class:`~repro.common.errors.ComplianceHaltError` naming the original
+failure, and the commit/abort counters still record the durable outcome
+(the WAL is the ground truth the counters track).  The sanctioned repair
+is a crash + recovery cycle: :meth:`TransactionManager.crash_reset` clears
+the poison, and compliance recovery re-derives the missing STAMP_TRANS /
+ABORT records from the WAL (``CompliancePlugin.recovery_outcomes``), which
+is exactly the paper's "transaction processing must halt until the
+problem is fixed".
 """
 
 from __future__ import annotations
@@ -23,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..common.clock import SimulatedClock
-from ..common.errors import TransactionStateError
+from ..common.errors import ComplianceHaltError, TransactionStateError
 from ..obs import Observability
 from ..wal import TransactionLog, WalRecord, WalRecordType
 from .locks import LockTable
@@ -86,8 +101,14 @@ class TransactionManager:
             "txn_abort_total", help="transactions rolled back")
         self._g_active = registry.gauge(
             "txn_active", help="in-flight transactions")
+        self._g_halted = registry.gauge(
+            "txn_halted",
+            help="1 while the manager is poisoned by a listener failure")
         self.locks = locks if locks is not None else \
             LockTable(obs=self.obs)
+        #: the exception that poisoned the manager, if any (see module
+        #: docstring: listener failure after a durable outcome)
+        self.halt_cause: Optional[BaseException] = None
         self._active: Dict[int, Transaction] = {}
         #: txn id -> commit time for every commit this incarnation knows of
         self.commit_times: Dict[int, int] = {}
@@ -98,8 +119,26 @@ class TransactionManager:
 
     # -- lifecycle ---------------------------------------------------------------
 
+    @property
+    def halted(self) -> bool:
+        """Whether a listener failure has poisoned the manager."""
+        return self.halt_cause is not None
+
+    def _check_halted(self) -> None:
+        if self.halt_cause is not None:
+            raise ComplianceHaltError(
+                "transaction processing is halted: a commit/abort "
+                f"listener failed ({self.halt_cause!r}); crash and "
+                "recover to repair the compliance log from the WAL"
+            ) from self.halt_cause
+
+    def _halt(self, cause: BaseException) -> None:
+        self.halt_cause = cause
+        self._g_halted.set(1)
+
     def begin(self) -> Transaction:
         """Start a transaction; its id is a fresh clock tick."""
+        self._check_halted()
         txn = Transaction(txn_id=self._clock.tick())
         self._active[txn.txn_id] = txn
         self._wal.append(WalRecord(WalRecordType.BEGIN, txn_id=txn.txn_id))
@@ -108,8 +147,14 @@ class TransactionManager:
         return txn
 
     def commit(self, txn: Transaction) -> int:
-        """Durably commit; returns the commit time."""
+        """Durably commit; returns the commit time.
+
+        Raises :class:`ComplianceHaltError` (and poisons the manager)
+        if an ``on_commit`` listener fails *after* the commit became
+        durable — see the module docstring for the failure semantics.
+        """
         txn.require_active()
+        self._check_halted()
         with self.obs.tracer.span("txn.commit", txn=txn.txn_id):
             commit_time = self._clock.tick()
             self._wal.append(WalRecord(WalRecordType.COMMIT,
@@ -121,15 +166,28 @@ class TransactionManager:
             self.commit_times[txn.txn_id] = commit_time
             del self._active[txn.txn_id]
             self.locks.release_all(txn.txn_id)
-            for listener in self.on_commit:
-                listener(txn, commit_time)
-        self._c_commits.inc()
-        self._g_active.set(len(self._active))
+            # the commit is durable from here on: the counters must
+            # record it whatever happens in the listeners
+            self._c_commits.inc()
+            self._g_active.set(len(self._active))
+            try:
+                for listener in self.on_commit:
+                    listener(txn, commit_time)
+            except Exception as exc:
+                self._halt(exc)
+                self._check_halted()
         return commit_time
 
     def abort(self, txn: Transaction) -> None:
-        """Roll back: undo tree writes, log ABORT durably, release locks."""
+        """Roll back: undo tree writes, log ABORT durably, release locks.
+
+        ``on_abort`` listener failures poison the manager exactly like
+        ``on_commit`` ones: the rollback is already durable in the WAL,
+        so a failed ABORT record on the compliance log is the same
+        silent-divergence hazard.
+        """
         txn.require_active()
+        self._check_halted()
         with self.obs.tracer.span("txn.abort", txn=txn.txn_id):
             if self.undo_callback is not None:
                 self.undo_callback(txn)
@@ -139,10 +197,14 @@ class TransactionManager:
             txn.state = TxnState.ABORTED
             del self._active[txn.txn_id]
             self.locks.release_all(txn.txn_id)
-            for listener in self.on_abort:
-                listener(txn)
-        self._c_aborts.inc()
-        self._g_active.set(len(self._active))
+            self._c_aborts.inc()
+            self._g_active.set(len(self._active))
+            try:
+                for listener in self.on_abort:
+                    listener(txn)
+            except Exception as exc:
+                self._halt(exc)
+                self._check_halted()
 
     # -- introspection -------------------------------------------------------------
 
@@ -162,8 +224,16 @@ class TransactionManager:
         return self.commit_times.get(start)
 
     def crash_reset(self) -> None:
-        """Forget all volatile transaction state (the crash primitive)."""
+        """Forget all volatile transaction state (the crash primitive).
+
+        The lock table is cleared *in place* (not replaced) so every
+        component holding a reference to it keeps seeing the live
+        table, and the halt poison is lifted — crash + recovery is the
+        sanctioned repair path for a listener failure.
+        """
         self._active.clear()
         self.commit_times.clear()
         self._g_active.set(0)
-        self.locks = LockTable(obs=self.obs)
+        self.locks.clear()
+        self.halt_cause = None
+        self._g_halted.set(0)

@@ -148,8 +148,14 @@ class WormServer:
         """
         meta = self._create(name, retention, appendable=False)
         if data:
-            self._path_for(name).write_bytes(bytes(data))
+            # immutable bytes go through the same write+flush path as
+            # append-file data so ``fsync`` is honoured and the flush
+            # counters see them
+            self._write_out(name, bytes(data))
             meta.size = len(data)
+            handle = self._append_handles.pop(name, None)
+            if handle is not None:
+                handle.close()
         return meta
 
     def create_append_file(self, name: str,
@@ -203,9 +209,19 @@ class WormServer:
             data = bytes(data)
             self._c_appends.inc()
             if durable:
-                # ordering: earlier buffered appends must land first
-                self.sync(name)
-                self._write_out(name, data)
+                # ordering: earlier buffered appends land first — in the
+                # *same* physical write+flush as the new bytes, so a
+                # durable append after N buffered ones costs one
+                # round-trip, not two
+                chunks = self._buffers.get(name)
+                if chunks:
+                    chunks.append(data)
+                    blob = b"".join(chunks)
+                    chunks.clear()
+                    self._buffered_len[name] = 0
+                else:
+                    blob = data
+                self._write_out(name, blob)
             else:
                 self._buffers.setdefault(name, []).append(data)
                 self._buffered_len[name] = \
