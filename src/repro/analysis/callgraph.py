@@ -1,0 +1,364 @@
+"""Project-wide name resolution and call graph for ``repro-lint`` v2.
+
+PR 2's rules were per-function pattern matchers: a barrier had to be
+*lexically* visible in the function it protected, a ``release_all`` had
+to appear literally inside the ``finally`` block that guaranteed it.
+PR 7 moved the hardest invariants into helpers and wrappers
+(``SingleWriterExecutor.submit`` closures, ``_abort_session_txns``,
+checkpoint helpers), where a per-module scan is blind both ways: it
+misses violations hidden behind a call, and it cries wolf on code whose
+discipline lives one frame down.
+
+This module gives the rules an interprocedural substrate:
+
+* **Function index** — every (sync or async) function/method in the
+  linted set, keyed ``module:qualname`` (:class:`FunctionInfo`).
+* **Name resolution** — a call site resolves to candidate project
+  functions through four bounded strategies, in order:
+
+  1. *local*: a plain ``name(...)`` to a function of the same module
+     (enclosing ``def``s first, then module scope);
+  2. *import*: ``from m import f`` / ``import m`` aliases followed into
+     other linted modules;
+  3. *self/cls*: ``self.m(...)``/``cls.m(...)`` resolved through the
+     enclosing class and its project-resolvable bases;
+  4. *unique name*: ``obj.m(...)`` when exactly one project function is
+     named ``m`` — unambiguous in practice for the protocol helpers the
+     rules care about; anything ambiguous resolves to nothing rather
+     than to everything.
+
+* **Bounded call summaries** — :meth:`CallGraph.transitive_attrs`
+  answers "which callee names does this function reach within *k*
+  calls?" and :meth:`CallGraph.reaches` runs an arbitrary per-call
+  predicate down the graph.  Both are memoised and depth-bounded
+  (default :data:`DEFAULT_DEPTH`), so a cycle or a pathological chain
+  cannot hang the linter.
+* **Reachability** — :meth:`CallGraph.reachable_functions` computes the
+  closure of the call graph from a set of root functions (used by
+  ``replay-determinism`` to scope its bans to audit/replay code).
+
+The graph is deliberately an *approximation*: unresolved calls (into
+the stdlib, through ambiguous attributes, via dynamic dispatch tables)
+contribute nothing.  Rules must therefore treat resolution as evidence,
+never as proof of absence — the same stance DESIGN.md §7 takes for the
+lexical dominance approximation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
+
+#: default bound on summary/reachability recursion depth
+DEFAULT_DEPTH = 5
+
+FunctionNode = ast.AST  # FunctionDef | AsyncFunctionDef
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the linted project."""
+
+    key: str                 #: unique id: ``module:qualname``
+    module: str              #: dotted module name ('' when unknown)
+    qualname: str            #: ``Class.method`` / ``func`` / nested
+    name: str                #: bare function name
+    class_name: Optional[str]
+    node: FunctionNode
+    unit: "ModuleUnit"       # type: ignore[name-defined]  # noqa: F821
+
+
+@dataclass
+class ClassInfo:
+    """A class definition and its directly defined methods."""
+
+    name: str
+    module: str
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name a file would import as.
+
+    ``src/repro/txn/locks.py`` → ``repro.txn.locks``;  files outside a
+    ``src`` root (tests, benchmarks, fixtures) are treated as top-level
+    modules named by their stem.
+    """
+    parts = list(PurePath(path).parts)
+    stem = PurePath(path).stem
+    if "src" in parts:
+        rel = parts[parts.index("src") + 1:]
+        dotted = [p for p in rel[:-1]] + ([] if stem == "__init__"
+                                          else [stem])
+        return ".".join(dotted)
+    return stem
+
+
+def iter_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Every call node under ``node``."""
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Call):
+            yield inner
+
+
+class CallGraph:
+    """Lazy, bounded call graph over a :class:`Project`'s units."""
+
+    def __init__(self, units: Sequence[object]):
+        self.units = list(units)
+        #: key -> info
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: id(ast node) -> info (for info_for lookups)
+        self._by_node: Dict[int, FunctionInfo] = {}
+        #: bare name -> every project function with that name
+        self._by_name: Dict[str, List[FunctionInfo]] = {}
+        #: class name -> defs (a name may be defined in several modules)
+        self._classes: Dict[str, List[ClassInfo]] = {}
+        #: module -> {local alias -> dotted target}
+        self._imports: Dict[str, Dict[str, str]] = {}
+        #: module -> {function name -> info} (module-level only)
+        self._module_funcs: Dict[str, Dict[str, FunctionInfo]] = {}
+        #: memo for transitive_attrs: (key, depth) -> attr set
+        self._attr_memo: Dict[Tuple[str, int], Set[str]] = {}
+        self._index()
+
+    # -- index construction ------------------------------------------------
+
+    def _index(self) -> None:
+        for unit in self.units:
+            module = module_name_for(unit.path)  # type: ignore[attr-defined]
+            tree = unit.tree  # type: ignore[attr-defined]
+            self._imports.setdefault(module, {})
+            self._module_funcs.setdefault(module, {})
+            self._index_imports(module, tree)
+            self._index_scope(unit, module, tree, prefix="",
+                              class_name=None)
+
+    def _index_imports(self, module: str, tree: ast.Module) -> None:
+        table = self._imports[module]
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    table[alias.asname or
+                          alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                base = node.module
+                if node.level:  # relative: anchor at this module's pkg
+                    pkg = module.split(".")
+                    pkg = pkg[:max(0, len(pkg) - node.level)]
+                    base = ".".join(pkg + [node.module])
+                for alias in node.names:
+                    table[alias.asname or alias.name] = \
+                        f"{base}.{alias.name}"
+
+    def _index_scope(self, unit: object, module: str, node: ast.AST,
+                     prefix: str, class_name: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                info = FunctionInfo(
+                    key=f"{module}:{qual}", module=module, qualname=qual,
+                    name=child.name, class_name=class_name, node=child,
+                    unit=unit)  # type: ignore[arg-type]
+                self.functions[info.key] = info
+                self._by_node[id(child)] = info
+                self._by_name.setdefault(child.name, []).append(info)
+                if not prefix:
+                    self._module_funcs[module][child.name] = info
+                if class_name is not None and \
+                        prefix == f"{class_name}.":
+                    for cls in self._classes.get(class_name, []):
+                        if cls.module == module:
+                            cls.methods[child.name] = info
+                self._index_scope(unit, module, child,
+                                  prefix=f"{qual}.",
+                                  class_name=class_name)
+            elif isinstance(child, ast.ClassDef):
+                bases = []
+                for base in child.bases:
+                    dotted = _dotted(base)
+                    if dotted is not None:
+                        bases.append(dotted.split(".")[-1])
+                self._classes.setdefault(child.name, []).append(
+                    ClassInfo(name=child.name, module=module,
+                              node=child, bases=bases))
+                self._index_scope(unit, module, child,
+                                  prefix=f"{prefix}{child.name}.",
+                                  class_name=child.name)
+            else:
+                self._index_scope(unit, module, child, prefix=prefix,
+                                  class_name=class_name)
+
+    # -- lookups -----------------------------------------------------------
+
+    def info_for(self, node: FunctionNode) -> Optional[FunctionInfo]:
+        """The :class:`FunctionInfo` of a function AST node, if indexed."""
+        return self._by_node.get(id(node))
+
+    def functions_of_unit(self, unit: object) -> List[FunctionInfo]:
+        """Every indexed function defined in ``unit``."""
+        return [info for info in self.functions.values()
+                if info.unit is unit]
+
+    def _method_of(self, class_name: str, method: str,
+                   depth: int = 3) -> List[FunctionInfo]:
+        """Resolve a method through a class and its named bases."""
+        out: List[FunctionInfo] = []
+        for cls in self._classes.get(class_name, []):
+            if method in cls.methods:
+                out.append(cls.methods[method])
+            elif depth > 0:
+                for base in cls.bases:
+                    if base != class_name:
+                        out.extend(self._method_of(base, method,
+                                                   depth - 1))
+        return out
+
+    # -- call resolution ---------------------------------------------------
+
+    def resolve_call(self, call: ast.Call,
+                     caller: Optional[FunctionInfo]) -> List[FunctionInfo]:
+        """Candidate project functions a call may invoke (possibly [])."""
+        func = call.func
+        module = caller.module if caller is not None else ""
+        if isinstance(func, ast.Name):
+            return self._resolve_name(func.id, module)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(func, caller, module)
+        return []
+
+    def _resolve_name(self, name: str, module: str) -> List[FunctionInfo]:
+        local = self._module_funcs.get(module, {}).get(name)
+        if local is not None:
+            return [local]
+        target = self._imports.get(module, {}).get(name)
+        if target is not None and "." in target:
+            mod, attr = target.rsplit(".", 1)
+            imported = self._module_funcs.get(mod, {}).get(attr)
+            if imported is not None:
+                return [imported]
+        return []
+
+    def _resolve_attribute(self, func: ast.Attribute,
+                           caller: Optional[FunctionInfo],
+                           module: str) -> List[FunctionInfo]:
+        attr = func.attr
+        value = func.value
+        if isinstance(value, ast.Name):
+            if value.id in ("self", "cls") and caller is not None and \
+                    caller.class_name is not None:
+                found = self._method_of(caller.class_name, attr)
+                if found:
+                    return found
+            # module alias: ``import repro.x as y; y.f(...)`` or
+            # ``from repro import x; x.f(...)``
+            target = self._imports.get(module, {}).get(value.id)
+            if target is not None:
+                imported = self._module_funcs.get(target, {}).get(attr)
+                if imported is not None:
+                    return [imported]
+        # unique-name fallback: unambiguous project-wide method name
+        candidates = self._by_name.get(attr, [])
+        if len(candidates) == 1:
+            return candidates
+        return []
+
+    # -- summaries ---------------------------------------------------------
+
+    def transitive_attrs(self, info: FunctionInfo,
+                         depth: int = DEFAULT_DEPTH) -> Set[str]:
+        """Callee names invoked within ``depth`` calls of ``info``.
+
+        Includes both attribute calls (``x.barrier()`` → ``barrier``)
+        and plain-name calls (``flush()`` → ``flush``); resolution
+        failures simply contribute their textual name.
+        """
+        memo_key = (info.key, depth)
+        cached = self._attr_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        self._attr_memo[memo_key] = set()  # cycle guard
+        attrs: Set[str] = set()
+        for call in iter_calls(info.node):
+            name = _callee_name(call)
+            if name:
+                attrs.add(name)
+            if depth > 0:
+                for target in self.resolve_call(call, info):
+                    if target.key != info.key:
+                        attrs |= self.transitive_attrs(target, depth - 1)
+        self._attr_memo[memo_key] = attrs
+        return attrs
+
+    def call_reaches_attr(self, call: ast.Call,
+                          caller: Optional[FunctionInfo],
+                          attrs: Set[str],
+                          depth: int = DEFAULT_DEPTH) -> bool:
+        """Whether a call resolves to a function that (transitively)
+        invokes one of ``attrs``."""
+        for target in self.resolve_call(call, caller):
+            if attrs & self.transitive_attrs(target, depth):
+                return True
+        return False
+
+    def reaches(self, info: FunctionInfo,
+                pred: Callable[[ast.Call], Optional[str]],
+                depth: int = DEFAULT_DEPTH,
+                _seen: Optional[Set[str]] = None) -> Optional[str]:
+        """First description returned by ``pred`` over any call within
+        ``depth`` frames of ``info`` (depth-first), else ``None``."""
+        seen = _seen if _seen is not None else set()
+        if info.key in seen:
+            return None
+        seen.add(info.key)
+        for call in iter_calls(info.node):
+            hit = pred(call)
+            if hit is not None:
+                return hit
+            if depth > 0:
+                for target in self.resolve_call(call, info):
+                    found = self.reaches(target, pred, depth - 1, seen)
+                    if found is not None:
+                        return found
+        return None
+
+    def reachable_functions(self, roots: Iterable[FunctionInfo],
+                            depth: int = 64) -> Set[str]:
+        """Keys of every function reachable from ``roots`` (inclusive)."""
+        frontier = list(roots)
+        seen: Set[str] = {info.key for info in frontier}
+        for _ in range(depth):
+            if not frontier:
+                break
+            new: List[FunctionInfo] = []
+            for info in frontier:
+                for call in iter_calls(info.node):
+                    for target in self.resolve_call(call, info):
+                        if target.key not in seen:
+                            seen.add(target.key)
+                            new.append(target)
+            frontier = new
+        return seen
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def _callee_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""

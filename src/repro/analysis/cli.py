@@ -4,10 +4,25 @@ Usage::
 
     repro-lint src/                      # human-readable report
     repro-lint --format json src/ tests/
+    repro-lint --format gh src/          # GitHub problem-matcher lines
     repro-lint --select barrier-dominance,lock-discipline src/
+    repro-lint --exclude '*lint_fixtures*' tests/
+    repro-lint --baseline lint-baseline.json src/   # fail on NEW only
+    repro-lint --baseline b.json --update-baseline src/
     repro-lint --list-rules
 
 Exit codes: 0 — clean; 1 — findings; 2 — bad usage or unparseable input.
+
+The ``gh`` format emits one ``path:line:col: rule: message`` line per
+finding — the shape ``.github/repro-lint-problem-matcher.json`` parses
+so CI findings annotate the PR diff.
+
+A **baseline** is the JSON report of a previous run.  With
+``--baseline FILE`` only findings *not* in the file fail the run, so a
+new rule can land strict on new code while the existing debt is paid
+down incrementally; matching ignores line/column drift (a finding is
+identified by path + rule + message, counted as a multiset).
+``--update-baseline`` rewrites FILE with the current findings.
 """
 
 from __future__ import annotations
@@ -15,9 +30,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional, Tuple
 
-from .core import RULE_REGISTRY, run_lint
+from .core import RULE_REGISTRY, LintFinding, run_lint
 from . import rules  # noqa: F401  -- ensure built-in rules are registered
 
 
@@ -28,14 +45,51 @@ def _build_parser() -> argparse.ArgumentParser:
                     "regulatory-compliant DBMS reproduction.")
     parser.add_argument("paths", nargs="*",
                         help="files or directories to lint")
-    parser.add_argument("--format", choices=("text", "json"),
-                        default="text", help="output format")
+    parser.add_argument("--format", choices=("text", "json", "gh"),
+                        default="text",
+                        help="output format (gh: GitHub problem-matcher "
+                             "lines)")
     parser.add_argument("--select", metavar="RULES",
                         help="comma-separated rule names to run "
                              "(default: all)")
+    parser.add_argument("--exclude", metavar="PATTERN", action="append",
+                        default=[],
+                        help="fnmatch pattern of paths to skip "
+                             "(repeatable)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="JSON report of accepted findings; only "
+                             "new findings fail the run")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline FILE with the current "
+                             "findings and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
     return parser
+
+
+def _finding_key(item: "dict[str, object]") -> Tuple[str, str, str]:
+    return (str(item.get("path", "")), str(item.get("rule", "")),
+            str(item.get("message", "")))
+
+
+def _apply_baseline(findings: List[LintFinding],
+                    path: Path) -> Tuple[List[LintFinding], int]:
+    """Split findings into (new, baselined-count) against ``path``."""
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(raw, list):
+        raise ValueError(f"baseline {path} is not a JSON list")
+    budget = Counter(_finding_key(item) for item in raw
+                     if isinstance(item, dict))
+    fresh: List[LintFinding] = []
+    matched = 0
+    for finding in findings:
+        key = _finding_key(finding.as_dict())
+        if budget[key] > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            fresh.append(finding)
+    return fresh, matched
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -54,13 +108,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.print_usage(sys.stderr)
         print("repro-lint: error: no paths given", file=sys.stderr)
         return 2
+    if options.update_baseline and not options.baseline:
+        print("repro-lint: error: --update-baseline needs --baseline",
+              file=sys.stderr)
+        return 2
 
     select = None
     if options.select:
         select = [part.strip() for part in options.select.split(",")
                   if part.strip()]
     try:
-        findings = run_lint(options.paths, select=select)
+        findings = run_lint(options.paths, select=select,
+                            exclude=options.exclude)
     except (KeyError, FileNotFoundError) as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
@@ -69,14 +128,38 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
 
+    if options.update_baseline:
+        Path(options.baseline).write_text(
+            json.dumps([finding.as_dict() for finding in findings],
+                       indent=2) + "\n", encoding="utf-8")
+        print(f"repro-lint: baseline updated with {len(findings)} "
+              f"finding(s)")
+        return 0
+
+    baselined = 0
+    if options.baseline:
+        try:
+            findings, baselined = _apply_baseline(
+                findings, Path(options.baseline))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"repro-lint: error: bad baseline: {exc}",
+                  file=sys.stderr)
+            return 2
+
     if options.format == "json":
         print(json.dumps([finding.as_dict() for finding in findings],
                          indent=2))
+    elif options.format == "gh":
+        for finding in findings:
+            print(f"{finding.path}:{finding.line}:{finding.col}: "
+                  f"{finding.rule}: {finding.message}")
     else:
         for finding in findings:
             print(finding)
         summary = "clean" if not findings else \
             f"{len(findings)} finding(s)"
+        if baselined:
+            summary += f" ({baselined} baselined)"
         print(f"repro-lint: {summary}")
     return 1 if findings else 0
 

@@ -23,11 +23,20 @@ Design
 * ``# repro-lint: exhaustive=<EnumName>`` marks a module as a dispatcher
   that must mention every member of ``EnumName`` (used by the
   ``record-exhaustiveness`` rule and its fixtures).
+* ``# repro-lint: replay-root`` marks every function in a module as an
+  audit/replay entry point for the interprocedural
+  ``replay-determinism`` reachability pass (the four core audit modules
+  are roots automatically).
+* ``# repro-lint: strict-release`` opts a module into the
+  ``exception-safe-release`` rule outside the ``repro`` package (engine
+  sources are strict automatically; straight-line test/demo scripts on
+  scratch databases are not).
 """
 
 from __future__ import annotations
 
 import ast
+import fnmatch
 import io
 import re
 import tokenize
@@ -39,7 +48,8 @@ from typing import (Dict, Iterable, Iterator, List, Optional, Sequence, Set,
 # args is non-greedy so a ``-- justification`` made only of word/space/
 # hyphen characters is not swallowed into the rule list
 _DIRECTIVE_RE = re.compile(
-    r"#\s*repro-lint:\s*(?P<kind>disable-file|disable|exhaustive)"
+    r"#\s*repro-lint:\s*(?P<kind>disable-file|disable|exhaustive"
+    r"|replay-root|strict-release)"
     r"(?:=(?P<args>[A-Za-z0-9_.,\- ]+?))?"
     r"(?P<why>\s*--.*)?$")
 
@@ -87,6 +97,16 @@ class ModuleUnit:
     suppressions: List[Suppression] = field(default_factory=list)
     #: enum names this module promises to dispatch exhaustively
     exhaustive_marks: List[str] = field(default_factory=list)
+    #: ``replay-root`` directive: every function here is an audit/replay
+    #: entry point for the reachability pass
+    replay_root: bool = False
+    #: ``strict-release`` directive: run ``exception-safe-release`` here
+    #: even outside the ``repro`` package
+    strict_release: bool = False
+
+    def in_repro_package(self) -> bool:
+        """Whether this unit is part of the engine source tree."""
+        return "repro" in Path(self.path).parts
 
     def suppressed(self, rule: str, line: int) -> bool:
         """Whether a finding of ``rule`` at ``line`` is silenced."""
@@ -103,6 +123,14 @@ class Project:
 
     def __init__(self, units: Sequence[ModuleUnit]):
         self.units = list(units)
+        self._callgraph: Optional[object] = None
+
+    def callgraph(self) -> "CallGraph":  # type: ignore[name-defined]
+        """The (cached) interprocedural call graph over all units."""
+        from .callgraph import CallGraph
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self.units)
+        return self._callgraph  # type: ignore[return-value]
 
     def enum_members(self, enum_name: str) -> Optional[List[str]]:
         """Member names of an enum class defined anywhere in the project.
@@ -205,31 +233,44 @@ def before(a: ast.AST, b: ast.AST) -> bool:
 # -- parsing ----------------------------------------------------------------
 
 
-def _parse_directives(source: str) -> Tuple[List[Suppression], List[str]]:
-    suppressions: List[Suppression] = []
-    marks: List[str] = []
+@dataclass
+class _Directives:
+    suppressions: List[Suppression] = field(default_factory=list)
+    marks: List[str] = field(default_factory=list)
+    replay_root: bool = False
+    strict_release: bool = False
+
+
+def _parse_directives(source: str) -> _Directives:
+    out = _Directives()
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         comments = [(tok.start[0], tok.string) for tok in tokens
                     if tok.type == tokenize.COMMENT]
     except tokenize.TokenizeError:
-        return suppressions, marks
+        return out
     for line, text in comments:
         match = _DIRECTIVE_RE.search(text)
         if match is None:
             continue
         kind = match.group("kind")
+        if kind == "replay-root":
+            out.replay_root = True
+            continue
+        if kind == "strict-release":
+            out.strict_release = True
+            continue
         args = [part.strip() for part in
                 (match.group("args") or ALL_RULES).split(",") if
                 part.strip()]
         if kind == "exhaustive":
-            marks.extend(args)
+            out.marks.extend(args)
             continue
-        suppressions.append(Suppression(
+        out.suppressions.append(Suppression(
             line=line, rules=set(args),
             file_scope=(kind == "disable-file"),
             justified=bool(match.group("why"))))
-    return suppressions, marks
+    return out
 
 
 def load_unit(path: Path) -> ModuleUnit:
@@ -240,20 +281,37 @@ def load_unit(path: Path) -> ModuleUnit:
     """
     source = path.read_text(encoding="utf-8")
     tree = ast.parse(source, filename=str(path))
-    suppressions, marks = _parse_directives(source)
+    directives = _parse_directives(source)
     return ModuleUnit(path=str(path), source=source, tree=tree,
-                      suppressions=suppressions, exhaustive_marks=marks)
+                      suppressions=directives.suppressions,
+                      exhaustive_marks=directives.marks,
+                      replay_root=directives.replay_root,
+                      strict_release=directives.strict_release)
 
 
-def collect_files(paths: Iterable[str]) -> List[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+def collect_files(paths: Iterable[str],
+                  exclude: Optional[Sequence[str]] = None) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    ``exclude`` holds :mod:`fnmatch` patterns matched against each
+    file's path string (e.g. ``*lint_fixtures*`` keeps the known-bad
+    fixtures out of a whole-tree CI run).  Explicitly named files are
+    excluded too — the flag wins over the positional.
+    """
+    patterns = list(exclude or [])
+
+    def keep(path: Path) -> bool:
+        text = str(path)
+        return not any(fnmatch.fnmatch(text, pat) for pat in patterns)
+
     out: List[Path] = []
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            out.extend(sorted(path.rglob("*.py")))
+            out.extend(p for p in sorted(path.rglob("*.py")) if keep(p))
         elif path.suffix == ".py":
-            out.append(path)
+            if keep(path):
+                out.append(path)
         else:
             raise FileNotFoundError(f"not a Python file or directory: "
                                     f"{raw}")
@@ -264,7 +322,8 @@ def collect_files(paths: Iterable[str]) -> List[Path]:
 
 
 def run_lint(paths: Iterable[str],
-             select: Optional[Iterable[str]] = None) -> List[LintFinding]:
+             select: Optional[Iterable[str]] = None,
+             exclude: Optional[Sequence[str]] = None) -> List[LintFinding]:
     """Lint ``paths`` with the selected rules (default: all registered).
 
     Returns findings sorted by location, with suppressions applied and
@@ -275,7 +334,7 @@ def run_lint(paths: Iterable[str],
     unknown = [name for name in names if name not in RULE_REGISTRY]
     if unknown:
         raise KeyError(f"unknown rule(s): {', '.join(unknown)}")
-    units = [load_unit(path) for path in collect_files(paths)]
+    units = [load_unit(path) for path in collect_files(paths, exclude)]
     project = Project(units)
     rules = [RULE_REGISTRY[name]() for name in names]
 
@@ -301,5 +360,7 @@ def run_lint(paths: Iterable[str],
                     message="suppression without a justification — add "
                             "'-- <one-line reason>' to the disable "
                             "comment"))
-    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    # message participates so repeated runs over identical inputs emit
+    # byte-identical reports (the CLI-contract determinism guarantee)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
     return kept

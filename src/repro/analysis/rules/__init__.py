@@ -1,7 +1,10 @@
 """Built-in compliance rules; importing this package registers them."""
 
-from . import (barrier_dominance, lock_discipline, record_exhaustiveness,
+from . import (barrier_dominance, exception_safety, executor_confinement,
+               fsync_discipline, lock_discipline, record_exhaustiveness,
                replay_determinism, worm_immutability)
 
-__all__ = ["barrier_dominance", "lock_discipline", "record_exhaustiveness",
-           "replay_determinism", "worm_immutability"]
+__all__ = ["barrier_dominance", "exception_safety",
+           "executor_confinement", "fsync_discipline", "lock_discipline",
+           "record_exhaustiveness", "replay_determinism",
+           "worm_immutability"]

@@ -20,7 +20,12 @@ the rule checks the shape of each:
    entirely.  Legitimate bypasses (the adversary simulation, the pager's
    own initialisation) must carry a justified suppression.
 
-Dominance is approximated lexically (see :func:`repro.analysis.core.before`).
+Dominance is approximated lexically (see :func:`repro.analysis.core.before`)
+but resolved **interprocedurally** since lint v2: a call to a helper
+that (within the call-graph depth bound) runs ``emit_write_hooks`` or a
+barrier counts as a dominator, so hoisting phase 1 into a wrapper no
+longer trips the rule — and a wrapper that merely *looks* like it
+synchronises, but never reaches a barrier, still does.
 """
 
 from __future__ import annotations
@@ -83,12 +88,21 @@ class BarrierDominanceRule(Rule):
     def check_module(self, unit: ModuleUnit,
                      project: Project) -> List[LintFinding]:
         findings: List[LintFinding] = []
+        graph = project.callgraph()
         for fn in iter_functions(unit.tree):
             calls = ordered_calls(fn)
+            caller = graph.info_for(fn)
             emit_or_barrier = [
                 call for call in calls
                 if _callee_attr(call) == "emit_write_hooks" or
-                _callee_attr(call) in _BARRIER_ATTRS]
+                _callee_attr(call) in _BARRIER_ATTRS or
+                # helper-wrapped dominator: the wrapper reaches a
+                # barrier within the depth bound (write-back sites
+                # themselves never count — a write is not a barrier)
+                (_callee_attr(call) not in ("write_page", "write_raw")
+                 and graph.call_reaches_attr(
+                     call, caller,
+                     _BARRIER_ATTRS | {"emit_write_hooks"}))]
             for call in calls:
                 attr = _callee_attr(call)
                 if attr == "write_page":
@@ -115,11 +129,13 @@ class BarrierDominanceRule(Rule):
                         "pwrite hook/barrier seam — compliance records "
                         "are never emitted for these bytes"))
             if fn.name == "write_page":
-                findings.extend(self._check_write_page_body(unit, fn))
+                findings.extend(
+                    self._check_write_page_body(unit, fn, graph, caller))
         return findings
 
     def _check_write_page_body(self, unit: ModuleUnit,
-                               fn: ast.FunctionDef) -> List[LintFinding]:
+                               fn: ast.FunctionDef, graph: object,
+                               caller: object) -> List[LintFinding]:
         physical = [
             call for call in ordered_calls(fn)
             if _callee_attr(call) in ("write", "seek") and
@@ -130,7 +146,11 @@ class BarrierDominanceRule(Rule):
         barrier_points: List[ast.AST] = list(_barrier_loops(fn))
         barrier_points.extend(
             call for call in ordered_calls(fn)
-            if _callee_attr(call) in _BARRIER_ATTRS)
+            if _callee_attr(call) in _BARRIER_ATTRS or
+            (_callee_attr(call) not in ("write", "seek", "write_page",
+                                        "write_raw") and
+             graph.call_reaches_attr(  # type: ignore[attr-defined]
+                 call, caller, _BARRIER_ATTRS)))
         first_write = physical[0]
         if any(before(point, first_write) for point in barrier_points):
             return []

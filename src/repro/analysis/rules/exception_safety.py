@@ -1,0 +1,166 @@
+"""exception-safe-release: acquired resources must survive exceptions.
+
+Invariant (DESIGN.md engine contract): the engine's resources — open
+transactions and open file handles — are *owned*: a transaction left
+dangling by an exception pins its locks and, after the PR 7 halt-path
+fix, can wedge the whole engine; a leaked file handle keeps a WORM or
+WAL fd alive past ``close()`` and breaks the crash simulation's
+"everything buffered is lost" model.
+
+A function in a **strict** unit (anything under the ``repro`` package,
+or a module opted in with ``# repro-lint: strict-release``) that binds
+an acquisition to a local name::
+
+    txn = db.begin(...)          # transaction handle
+    handle = open(path, "wb")    # file handle
+
+must do one of:
+
+* acquire inside a ``with`` item (``with open(p) as f:``);
+* clean the name up in a ``try`` statement's ``finally`` block or an
+  ``except`` handler (the engine's ``commit``-then-``abort``-on-error
+  idiom), where "clean up" is a call that takes the name as receiver or
+  argument and is — or transitively reaches, via the call graph — a
+  ``close``/``abort``/``commit``/``rollback``/``release`` family call;
+* let the resource escape ownership: return/yield it, or store it into
+  an attribute/subscript (the new owner's lifecycle rules apply there).
+
+Straight-line ``txn = begin(); ...; commit(txn)`` with no protection at
+all is exactly the shape this rule exists to flag: any raise between
+the two lines leaks the transaction.  Test and demo scripts on
+throwaway databases are out of scope unless they opt in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from ..callgraph import CallGraph, FunctionInfo
+from ..core import (LintFinding, ModuleUnit, Project, Rule, dotted_name,
+                    iter_functions, register_rule)
+
+#: callee names that end a resource's life (directly or via a wrapper)
+_CLEANUP_ATTRS = {"close", "abort", "commit", "rollback", "release",
+                  "release_all", "stop"}
+
+
+def _acquisition_kind(call: ast.Call) -> Optional[str]:
+    """'file handle' for ``open(...)``, 'transaction' for ``*.begin()``."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "file handle"
+    if isinstance(func, ast.Attribute) and func.attr == "begin":
+        return "transaction"
+    return None
+
+
+def _is_cleanup_call(call: ast.Call, name: str, graph: CallGraph,
+                     caller: Optional[FunctionInfo]) -> bool:
+    """Whether ``call`` disposes of the resource bound to ``name``."""
+    func = call.func
+    involved = any(isinstance(arg, ast.Name) and arg.id == name
+                   for arg in list(call.args) +
+                   [kw.value for kw in call.keywords])
+    if isinstance(func, ast.Attribute):
+        receiver = dotted_name(func.value)
+        if receiver == name and func.attr in _CLEANUP_ATTRS:
+            return True  # txn.abort() / handle.close()
+        if involved and func.attr in _CLEANUP_ATTRS:
+            return True  # db.abort(txn)
+    if involved and graph.call_reaches_attr(call, caller, _CLEANUP_ATTRS):
+        return True  # self._cleanup(txn) -> ... -> abort
+    return False
+
+
+def _protected_names(fn: ast.AST, graph: CallGraph,
+                     caller: Optional[FunctionInfo]) -> Set[str]:
+    """Names cleaned up in a ``finally`` block or ``except`` handler."""
+    out: Set[str] = set()
+    names = {node.id for node in ast.walk(fn)
+             if isinstance(node, ast.Name)}
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Try):
+            continue
+        scopes: List[ast.stmt] = list(node.finalbody)
+        for handler in node.handlers:
+            scopes.extend(handler.body)
+        for stmt in scopes:
+            for inner in ast.walk(stmt):
+                if not isinstance(inner, ast.Call):
+                    continue
+                for name in names:
+                    if name not in out and \
+                            _is_cleanup_call(inner, name, graph, caller):
+                        out.add(name)
+    return out
+
+
+def _escaping_names(fn: ast.AST) -> Set[str]:
+    """Names whose resource leaves the function's ownership."""
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)) and \
+                node.value is not None:
+            for inner in ast.walk(node.value):
+                if isinstance(inner, ast.Name):
+                    out.add(inner.id)
+        elif isinstance(node, ast.Assign) and \
+                isinstance(node.value, ast.Name):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    out.add(node.value.id)
+    return out
+
+
+def _with_item_call_ids(fn: ast.AST) -> Set[int]:
+    out: Set[int] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for inner in ast.walk(item.context_expr):
+                    if isinstance(inner, ast.Call):
+                        out.add(id(inner))
+    return out
+
+
+@register_rule
+class ExceptionSafeReleaseRule(Rule):
+    """Resource acquisition with no with/try-finally protection."""
+
+    name = "exception-safe-release"
+    description = ("txn/file acquisitions must sit in a with block or "
+                   "have cleanup in finally/except")
+    invariant = ("engine contract: a raise between acquire and release "
+                 "must not leak the transaction's locks or the handle")
+
+    def check_module(self, unit: ModuleUnit,
+                     project: Project) -> List[LintFinding]:
+        if not (unit.in_repro_package() or unit.strict_release):
+            return []
+        findings: List[LintFinding] = []
+        graph = project.callgraph()
+        for fn in iter_functions(unit.tree):
+            caller = graph.info_for(fn)
+            with_calls = _with_item_call_ids(fn)
+            protected = _protected_names(fn, graph, caller)
+            escaping = _escaping_names(fn)
+            for node in ast.walk(fn):
+                if not (isinstance(node, ast.Assign) and
+                        len(node.targets) == 1 and
+                        isinstance(node.targets[0], ast.Name) and
+                        isinstance(node.value, ast.Call)):
+                    continue
+                kind = _acquisition_kind(node.value)
+                if kind is None or id(node.value) in with_calls:
+                    continue
+                name = node.targets[0].id
+                if name in protected or name in escaping:
+                    continue
+                findings.append(LintFinding(
+                    self.name, unit.path, node.value.lineno,
+                    node.value.col_offset,
+                    f"'{fn.name}' binds a {kind} to {name!r} with no "
+                    "with-block, finally/except cleanup, or ownership "
+                    "escape — an exception on the next line leaks it"))
+        return findings

@@ -1,0 +1,160 @@
+"""executor-confinement: only the writer thread touches the database.
+
+Invariant (PR 7 server design, DESIGN.md §11): ``CompliantDB`` is a
+single-caller library — the strict-2PL lock table and the storage
+layers below it take no internal locks, so the *only* thing standing
+between a multi-client server and data races is the
+``SingleWriterExecutor`` discipline: one worker thread owns the
+database, and every ``self.db`` access or session-transaction mutation
+happens either inside an ``_op_*`` handler (dispatched on the writer
+thread) or inside a closure submitted to the executor.
+
+The rule finds every class that constructs a ``SingleWriterExecutor``
+(a *confined* class) and checks each of its methods: a method that
+touches ``self.db`` or a ``*.txns`` transaction table must be
+
+* an ``_op_*`` handler, or a function reachable (via the call graph)
+  from one — e.g. the ``_txn``/``_write`` helpers; or
+* reachable from a closure passed to ``executor.submit(...)`` — the
+  session-close abort path; or
+* ``__init__`` (wiring happens before the writer thread starts); or
+* touching only inside a lambda that is itself a ``submit`` argument.
+
+Anything else is a session-thread touch racing the writer.  The rule is
+structural, so a method that is only ever *called* before the executor
+starts still needs a justified suppression — better an explicit why
+than an invisible race.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from ..callgraph import CallGraph, FunctionInfo, iter_calls
+from ..core import (LintFinding, ModuleUnit, Project, Rule,
+                    register_rule)
+
+_SUBMIT_ATTRS = {"submit", "force"}
+
+
+def _confined_classes(tree: ast.Module) -> Set[str]:
+    """Names of classes that assign a SingleWriterExecutor attribute."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Assign) and \
+                    isinstance(inner.value, ast.Call):
+                func = inner.value.func
+                callee = func.attr if isinstance(func, ast.Attribute) \
+                    else func.id if isinstance(func, ast.Name) else ""
+                if callee == "SingleWriterExecutor":
+                    out.add(node.name)
+                    break
+    return out
+
+
+def _submit_closures(tree: ast.Module) -> Set[int]:
+    """ids of lambda/def nodes passed as arguments to submit/force."""
+    out: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _SUBMIT_ATTRS:
+            for arg in list(node.args) + \
+                    [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Lambda):
+                    out.add(id(arg))
+    return out
+
+
+def _touches(fn: ast.AST, skip_ids: Set[int]) -> List[ast.Attribute]:
+    """``self.db`` / ``*.txns`` attribute accesses outside submit args.
+
+    Nested function definitions are skipped — they are checked as
+    functions in their own right — but a lambda that is *not* a submit
+    argument runs on whatever thread calls it, so its touches count.
+    """
+    found: List[ast.Attribute] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if id(child) in skip_ids or \
+                    isinstance(child, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, ast.Attribute) and (
+                    (child.attr == "db" and
+                     isinstance(child.value, ast.Name) and
+                     child.value.id == "self") or
+                    child.attr == "txns"):
+                found.append(child)
+            visit(child)
+
+    visit(fn)
+    return found
+
+
+@register_rule
+class ExecutorConfinementRule(Rule):
+    """Database state touched off the single-writer thread."""
+
+    name = "executor-confinement"
+    description = ("server classes may touch CompliantDB/txn state only "
+                   "on the SingleWriterExecutor's thread")
+    invariant = ("DESIGN.md §11: the executor's serial order IS the "
+                 "database's serial history; a session-thread touch is "
+                 "a data race")
+
+    def check_module(self, unit: ModuleUnit,
+                     project: Project) -> List[LintFinding]:
+        confined = _confined_classes(unit.tree)
+        if not confined:
+            return []
+        graph = project.callgraph()
+        submit_ids = _submit_closures(unit.tree)
+        roots = []
+        methods = [info for info in graph.functions_of_unit(unit)
+                   if info.class_name in confined]
+        for info in methods:
+            if info.name.startswith("_op_"):
+                roots.append(info)
+        roots.extend(self._submitted_targets(unit, graph, submit_ids))
+        writer_keys = graph.reachable_functions(roots) if roots else set()
+        findings: List[LintFinding] = []
+        for info in methods:
+            if info.name == "__init__" or info.key in writer_keys:
+                continue
+            for touch in _touches(info.node, submit_ids):
+                state = "self.db" if touch.attr == "db" else \
+                    "the session txn table"
+                findings.append(LintFinding(
+                    self.name, unit.path, touch.lineno, touch.col_offset,
+                    f"'{info.qualname}' touches {state} outside the "
+                    "writer thread — wrap the access in "
+                    "executor.submit(...) or move it into an _op_* "
+                    "handler"))
+        return findings
+
+    def _submitted_targets(self, unit: ModuleUnit, graph: CallGraph,
+                           submit_ids: Set[int]) -> List[FunctionInfo]:
+        """Functions invoked from inside submit(...) closures."""
+        out: List[FunctionInfo] = []
+        for node in ast.walk(unit.tree):
+            if id(node) not in submit_ids:
+                continue
+            caller = _enclosing_info(graph, unit, node)
+            for call in iter_calls(node):
+                out.extend(graph.resolve_call(call, caller))
+        return out
+
+
+def _enclosing_info(graph: CallGraph, unit: ModuleUnit,
+                    target: ast.AST) -> Optional[FunctionInfo]:
+    """The indexed function whose body contains ``target``."""
+    for info in graph.functions_of_unit(unit):
+        if any(node is target for node in ast.walk(info.node)):
+            return info
+    return None

@@ -20,6 +20,13 @@ one of these holds:
   between the first ``acquire`` and the last ``release_all`` (the
   straight-line pairing; anything branchier needs the ``finally`` form).
 
+Since lint v2 a *release* is resolved **interprocedurally**: a call to
+a helper that (within the call-graph depth bound) runs ``release_all``
+counts everywhere a literal ``release_all`` would — in the ``finally``
+body and in the straight-line pairing — so wrapping the release in a
+``_cleanup()`` helper no longer trips the rule, and a cleanup helper
+that forgets the release still does.
+
 Receivers count as lock-like when their dotted name contains ``lock``
 (``self.locks``, ``locks``, ``lock_table``, …); ``threading`` primitives
 used as context managers (``with lock:``) never reach ``.acquire`` here.
@@ -30,6 +37,7 @@ from __future__ import annotations
 import ast
 from typing import List, Optional
 
+from ..callgraph import CallGraph, FunctionInfo
 from ..core import (LintFinding, ModuleUnit, Project, Rule, dotted_name,
                     iter_functions, register_rule)
 
@@ -62,14 +70,29 @@ def _takes_transaction(fn: ast.FunctionDef) -> bool:
     return False
 
 
-def _release_in_finally(fn: ast.FunctionDef) -> bool:
+def _is_release(call: ast.Call, graph: CallGraph,
+                caller: Optional[FunctionInfo]) -> bool:
+    """Literal ``release_all``, or a helper that transitively runs it.
+
+    Acquire sites themselves never count: a wrapper that both acquires
+    and releases is a *scope*, not a release of the caller's locks.
+    """
+    if isinstance(call.func, ast.Attribute) and \
+            call.func.attr == "release_all":
+        return True
+    if _lock_receiver(call) is not None:
+        return False
+    return graph.call_reaches_attr(call, caller, {"release_all"})
+
+
+def _release_in_finally(fn: ast.FunctionDef, graph: CallGraph,
+                        caller: Optional[FunctionInfo]) -> bool:
     for node in ast.walk(fn):
         if isinstance(node, ast.Try):
             for stmt in node.finalbody:
                 for inner in ast.walk(stmt):
                     if isinstance(inner, ast.Call) and \
-                            isinstance(inner.func, ast.Attribute) and \
-                            inner.func.attr == "release_all":
+                            _is_release(inner, graph, caller):
                         return True
     return False
 
@@ -87,7 +110,9 @@ class LockDisciplineRule(Rule):
     def check_module(self, unit: ModuleUnit,
                      project: Project) -> List[LintFinding]:
         findings: List[LintFinding] = []
+        graph = project.callgraph()
         for fn in iter_functions(unit.tree):
+            caller = graph.info_for(fn)
             acquires = []
             releases = []
             exits = []
@@ -95,8 +120,7 @@ class LockDisciplineRule(Rule):
                 if isinstance(node, ast.Call):
                     if _lock_receiver(node) is not None:
                         acquires.append(node)
-                    elif isinstance(node.func, ast.Attribute) and \
-                            node.func.attr == "release_all":
+                    elif _is_release(node, graph, caller):
                         releases.append(node)
                 elif isinstance(node, (ast.Return, ast.Raise)):
                     exits.append(node)
@@ -104,7 +128,7 @@ class LockDisciplineRule(Rule):
                 continue
             if _takes_transaction(fn):
                 continue  # txn-scoped: the manager releases at outcome
-            if _release_in_finally(fn):
+            if _release_in_finally(fn, graph, caller):
                 continue
             first = min((a.lineno, a.col_offset) for a in acquires)
             if releases:

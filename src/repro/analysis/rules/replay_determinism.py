@@ -22,15 +22,30 @@ Flagged anywhere in the linted set:
   comprehension) without a ``sorted(...)`` wrapper.  ADD-HASH is
   commutative, so a deliberate unsorted feed there may be suppressed
   with a justification; ``Hs`` is order-sensitive and never may be.
+
+Since lint v2 a second, **interprocedural** rule rides in this module:
+``replay-reachability``.  Every function in the audit replay surface (``audit.py``, ``parallel_audit.py``, ``forensics.py``,
+``recovery.py`` under ``repro``, plus any module marked
+``# repro-lint: replay-root``) is a reachability root, and a call site
+in reachable code whose resolved callee *transitively* performs a
+wall-clock/entropy read is flagged where the contamination enters the
+replay surface — wrapping ``time.time()`` in a helper module no longer
+hides it from the audit path.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Set, Tuple
 
+from ..callgraph import iter_calls
 from ..core import (LintFinding, ModuleUnit, Project, Rule, dotted_name,
                     register_rule)
+
+#: modules under ``repro`` that are always replay/audit reachability roots
+_AUDIT_BASENAMES = {"audit.py", "parallel_audit.py", "forensics.py",
+                    "recovery.py"}
 
 _FORBIDDEN_CALLS = {
     "time.time": "wall-clock read",
@@ -61,6 +76,28 @@ def _unsorted_view(node: ast.expr) -> Optional[str]:
             view = _unsorted_view(comp.iter)
             if view is not None:
                 return view
+    return None
+
+
+def _forbidden_desc(call: ast.Call) -> Optional[str]:
+    """Short description when ``call`` is a direct nondeterminism source.
+
+    The predicate the interprocedural pass runs down the call graph;
+    mirrors the direct-ban logic of :meth:`check_module`.
+    """
+    callee = dotted_name(call.func)
+    if callee is None:
+        return None
+    if callee in _FORBIDDEN_CALLS:
+        return f"{callee}() ({_FORBIDDEN_CALLS[callee]})"
+    if callee.startswith("secrets."):
+        return f"{callee}() (shared entropy)"
+    if callee.startswith("random."):
+        fn = callee.split(".", 1)[1]
+        if fn != "Random":
+            return f"{callee}() (shared/unseeded randomness)"
+        if not call.args and not call.keywords:
+            return "random.Random() with no seed"
     return None
 
 
@@ -116,4 +153,56 @@ class ReplayDeterminismRule(Rule):
                             "iteration into a hash — wrap the view in "
                             "sorted(...) or justify why order cannot "
                             "matter"))
+        return findings
+
+
+@register_rule
+class ReplayReachabilityRule(Rule):
+    """Nondeterminism reachable from the audit replay surface."""
+
+    name = "replay-reachability"
+    description = ("flag replay/audit-reachable call sites whose callees "
+                   "transitively read wall clocks or entropy")
+    invariant = ("Section V: every function the auditor's replay can "
+                 "reach must be deterministic, not just the replay "
+                 "modules themselves")
+
+    def finalize(self, project: Project) -> List[LintFinding]:
+        """Interprocedural pass: nondeterminism reachable from replay.
+
+        Call sites *inside* the replay surface whose resolved callees
+        transitively hit a wall-clock/entropy read are flagged at the
+        point where the contamination enters — the direct per-module
+        bans of ``replay-determinism`` already cover the source itself.
+        """
+        graph = project.callgraph()
+        roots = []
+        for unit in project.units:
+            if unit.replay_root or (
+                    Path(unit.path).name in _AUDIT_BASENAMES and
+                    unit.in_repro_package()):
+                roots.extend(graph.functions_of_unit(unit))
+        if not roots:
+            return []
+        findings: List[LintFinding] = []
+        seen: Set[Tuple[str, int, int]] = set()
+        for key in sorted(graph.reachable_functions(roots)):
+            info = graph.functions[key]
+            for call in iter_calls(info.node):
+                for target in graph.resolve_call(call, info):
+                    hit = graph.reaches(target, _forbidden_desc)
+                    if hit is None:
+                        continue
+                    site = (info.unit.path, call.lineno,
+                            call.col_offset)
+                    if site not in seen:
+                        seen.add(site)
+                        findings.append(LintFinding(
+                            self.name, info.unit.path, call.lineno,
+                            call.col_offset,
+                            f"replay-reachable call in "
+                            f"'{info.qualname}' reaches {hit} via "
+                            f"'{target.qualname}' — the audit replay "
+                            "surface must be deterministic"))
+                    break
         return findings

@@ -16,16 +16,26 @@ containing ``worm`` or ``clog``), including one level of aliasing
 (``alias = buf``), and flags any later in-function mutation of a tracked
 name: mutating method calls, subscript/attribute stores, augmented
 assignment, and ``del``.
+
+Since lint v2 the append site is resolved **interprocedurally**: a call
+to a helper that forwards one of its parameters into a WORM append
+(within the call-graph depth bound) freezes the caller's argument at
+that position, so hoisting the append into ``_log_record(buf)`` no
+longer hides a later mutation of ``buf``.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, List
+from typing import Dict, List, Optional, Set, Tuple
 
+from ..callgraph import CallGraph, FunctionInfo, iter_calls
 from ..core import (LintFinding, ModuleUnit, Project, Rule, dotted_name,
                     iter_functions, register_rule)
+
+#: bound on append-forwarding summary recursion
+_FORWARD_DEPTH = 3
 
 _WORM_RECEIVER_RE = re.compile(r"(?:^|[._])(worm|clog)(?:[._]|$)")
 _APPEND_ATTRS = {"append", "create_file"}
@@ -49,6 +59,70 @@ def _pos(node: ast.AST) -> tuple:
     return (node.lineno, node.col_offset)
 
 
+def _param_names(node: ast.AST) -> List[str]:
+    args = node.args  # type: ignore[attr-defined]
+    return [a.arg for a in list(args.posonlyargs) + list(args.args)]
+
+
+class _ForwardIndex:
+    """Which parameters of each project function reach a WORM append."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        self._memo: Dict[Tuple[str, int], Set[str]] = {}
+
+    def forwarded_params(self, info: FunctionInfo,
+                         depth: int = _FORWARD_DEPTH) -> Set[str]:
+        """Names of ``info``'s parameters that end up appended."""
+        memo_key = (info.key, depth)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            return cached
+        self._memo[memo_key] = set()  # cycle guard
+        params = set(_param_names(info.node))
+        out: Set[str] = set()
+        for call in iter_calls(info.node):
+            if _is_worm_append(call):
+                for arg in list(call.args) + \
+                        [kw.value for kw in call.keywords]:
+                    if isinstance(arg, ast.Name) and arg.id in params:
+                        out.add(arg.id)
+            elif depth > 0:
+                out |= params & self.frozen_args(call, info, depth - 1)
+        self._memo[memo_key] = out
+        return out
+
+    def frozen_args(self, call: ast.Call,
+                    caller: Optional[FunctionInfo],
+                    depth: int = _FORWARD_DEPTH) -> Set[str]:
+        """Caller-side names this call hands to a WORM append.
+
+        Maps the call's ``ast.Name`` arguments onto the resolved
+        target's parameters and returns those landing on an
+        append-forwarded parameter.
+        """
+        out: Set[str] = set()
+        for target in self.graph.resolve_call(call, caller):
+            forwarded = self.forwarded_params(target, depth)
+            if not forwarded:
+                continue
+            tparams = _param_names(target.node)
+            # bound methods: the receiver expression consumes ``self``
+            offset = 1 if (target.class_name is not None and
+                           isinstance(call.func, ast.Attribute) and
+                           tparams[:1] in (["self"], ["cls"])) else 0
+            for i, arg in enumerate(call.args):
+                pos = i + offset
+                if isinstance(arg, ast.Name) and pos < len(tparams) \
+                        and tparams[pos] in forwarded:
+                    out.add(arg.id)
+            for kw in call.keywords:
+                if kw.arg in forwarded and \
+                        isinstance(kw.value, ast.Name):
+                    out.add(kw.value.id)
+        return out
+
+
 @register_rule
 class WormImmutabilityRule(Rule):
     """No mutation/aliasing of buffers after a WORM append."""
@@ -62,12 +136,15 @@ class WormImmutabilityRule(Rule):
     def check_module(self, unit: ModuleUnit,
                      project: Project) -> List[LintFinding]:
         findings: List[LintFinding] = []
+        graph = project.callgraph()
+        index = _ForwardIndex(graph)
         for fn in iter_functions(unit.tree):
-            findings.extend(self._check_function(unit, fn))
+            findings.extend(self._check_function(unit, fn, graph, index))
         return findings
 
-    def _check_function(self, unit: ModuleUnit,
-                        fn: ast.AST) -> List[LintFinding]:
+    def _check_function(self, unit: ModuleUnit, fn: ast.AST,
+                        graph: CallGraph,
+                        index: _ForwardIndex) -> List[LintFinding]:
         #: name -> position of the append that froze it
         frozen: Dict[str, tuple] = {}
         aliases: Dict[str, str] = {}
@@ -90,12 +167,20 @@ class WormImmutabilityRule(Rule):
                 "append — the group-commit buffer aliases the object, "
                 "so the 'immutable' log would change"))
 
+        caller = graph.info_for(fn)
         for node in nodes:
             if isinstance(node, ast.Call) and _is_worm_append(node):
                 for arg in list(node.args) + \
                         [kw.value for kw in node.keywords]:
                     if isinstance(arg, ast.Name):
                         frozen.setdefault(canonical(arg.id), _pos(node))
+            elif isinstance(node, ast.Call) and \
+                    not (isinstance(node.func, ast.Attribute) and
+                         node.func.attr in _MUTATING_METHODS):
+                # helper-wrapped append: freeze the arguments the
+                # resolved target forwards into a WORM append
+                for name in index.frozen_args(node, caller):
+                    frozen.setdefault(canonical(name), _pos(node))
             elif isinstance(node, ast.Assign):
                 if len(node.targets) == 1 and \
                         isinstance(node.targets[0], ast.Name) and \

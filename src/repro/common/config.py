@@ -134,6 +134,10 @@ class ObsConfig:
     #: ``audit_phase_seconds``
     latency_buckets: List[float] = field(
         default_factory=lambda: list(DEFAULT_LATENCY_BUCKETS))
+    #: install the runtime concurrency sanitizer
+    #: (:mod:`repro.analysis.sanitizer`) when this database comes up —
+    #: process-wide and sticky, like the ``REPRO_SANITIZE`` env toggle
+    sanitize: bool = False
 
     def validate(self) -> None:
         if self.trace_capacity < 0:

@@ -585,6 +585,10 @@ class _AuditCheckpoint:
                              "results": self._results})
         with open(tmp, "wb") as handle:
             handle.write(blob)
+            handle.flush()
+            # the rename below may become durable before the data pages
+            # do; fsync first or a crash can publish a torn checkpoint
+            os.fsync(handle.fileno())
         os.replace(tmp, self.path)
         self._pending = 0
         self._on_flush()

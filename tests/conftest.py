@@ -16,3 +16,27 @@ def clock():
 def worm(tmp_path, clock):
     """A WORM server on a scratch directory with a 7-year default term."""
     return WormServer(tmp_path / "worm", clock, default_retention=years(7))
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_gate():
+    """Fail any test that trips the runtime concurrency sanitizer.
+
+    Active only when ``REPRO_SANITIZE`` is set (the CI sanitizer job);
+    the sanitizer itself is installed lazily by the first CompliantDB
+    the test builds.  Each test is judged on the violations *it* added.
+    """
+    from repro.analysis import sanitizer
+
+    if not sanitizer.env_enabled():
+        yield
+        return
+    active = sanitizer.install()
+    before = len(active.violations)
+    yield
+    fresh = active.violations[before:]
+    if fresh:
+        lines = "\n".join(f"  {v}" for v in fresh)
+        pytest.fail(
+            f"concurrency sanitizer recorded {len(fresh)} "
+            f"violation(s) during this test:\n{lines}")

@@ -1,0 +1,17 @@
+"""Known-bad fixture: two exception-safe-release violations.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+# repro-lint: strict-release
+
+
+def leak_txn(db, relation, row):
+    txn = db.begin()
+    db.insert(txn, relation, row)  # a raise here leaks txn's locks
+    db.commit(txn)
+
+
+def leak_handle(path, blob):
+    handle = open(path, "wb")
+    handle.write(blob)
+    handle.close()  # never reached if write() raises

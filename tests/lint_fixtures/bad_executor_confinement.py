@@ -1,0 +1,21 @@
+"""Known-bad fixture: four executor-confinement violations.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+from repro.server.service import SingleWriterExecutor
+
+
+class BadService:
+    def __init__(self, db):
+        self.db = db
+        self.executor = SingleWriterExecutor(8)
+
+    def status(self):
+        # session thread reading engine state while the writer runs
+        return self.db.metrics()
+
+    def rollback_all(self, session):
+        # session thread mutating txn state the writer owns
+        for txn_id in list(session.txns):
+            self.db.abort(session.txns.pop(txn_id))

@@ -1,0 +1,16 @@
+"""Known-bad fixture: two fsync-before-rename violations.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+import os
+
+
+def publish_checkpoint(path, tmp, blob):
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+    os.replace(tmp, path)  # rename can hit disk before the data does
+
+
+def publish_marker(tmp_path, final_path):
+    tmp_path.rename(final_path)  # pathlib spelling, same torn publish

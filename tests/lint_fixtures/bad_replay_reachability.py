@@ -1,0 +1,30 @@
+"""Known-bad fixture: two replay-reachability violations.
+
+The nondeterminism hides one call away from the replay surface — the
+per-module replay-determinism bans flag the helpers' bodies, while this
+rule flags where the replay roots *reach* them.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+# repro-lint: replay-root
+
+import time
+import uuid
+
+
+def replay_epoch(entries):
+    stamp = _now_stamp()  # wall clock enters the replay surface here
+    return [(stamp, entry) for entry in entries]
+
+
+def replay_report(entries):
+    tag = _fresh_tag()  # entropy enters the replay surface here
+    return {tag: list(entries)}
+
+
+def _now_stamp():
+    return time.time()  # repro-lint: disable=replay-determinism -- the direct ban is the other rule's fixture; this one tests reachability
+
+
+def _fresh_tag():
+    return uuid.uuid4()  # repro-lint: disable=replay-determinism -- the direct ban is the other rule's fixture; this one tests reachability

@@ -1,0 +1,37 @@
+"""Known-good fixture: every acquisition is exception-safe (or escapes).
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+# repro-lint: strict-release
+
+
+def commit_or_abort(db, relation, row):
+    txn = db.begin()
+    try:
+        db.insert(txn, relation, row)
+        db.commit(txn)
+    except Exception:
+        db.abort(txn)
+        raise
+
+
+def copy_bytes(src, dst):
+    with open(src, "rb") as inp, open(dst, "wb") as out:
+        out.write(inp.read())
+
+
+def open_owned(path):
+    handle = open(path, "rb")
+    return handle  # ownership escapes to the caller
+
+
+def helper_cleanup(db, relation, row):
+    txn = db.begin()
+    try:
+        db.insert(txn, relation, row)
+    finally:
+        _finish(db, txn)  # wrapper release, resolved via the call graph
+
+
+def _finish(db, txn):
+    db.abort(txn)

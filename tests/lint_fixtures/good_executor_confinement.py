@@ -1,0 +1,38 @@
+"""Known-good fixture: all database touches confined to the writer.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+from repro.server.service import SingleWriterExecutor
+
+
+class GoodService:
+    def __init__(self, db):
+        self.db = db
+        self.executor = SingleWriterExecutor(8)
+
+    def execute(self, session, args):
+        # marshalled onto the writer thread: the touch is inside the
+        # submitted closure, not on this session thread
+        future = self.executor.submit(
+            lambda: self._op_apply(session, args))
+        return future.result()
+
+    def close_session(self, session):
+        future = self.executor.submit(
+            lambda: self._abort_all(session), force=True)
+        return future.result()
+
+    def _op_apply(self, session, args):
+        txn = self._fetch(session, args)
+        self.db.insert(txn, args["relation"], args["row"])
+        return {}
+
+    def _fetch(self, session, args):
+        # reachable from _op_apply via the call graph: writer context
+        return session.txns[args["txn"]]
+
+    def _abort_all(self, session):
+        # reachable from a submit(...) closure: writer context
+        for txn_id in sorted(session.txns):
+            self.db.abort(session.txns.pop(txn_id))

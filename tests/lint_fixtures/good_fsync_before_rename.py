@@ -1,0 +1,29 @@
+"""Known-good fixture: renames preceded by a durable fsync.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+import os
+
+
+def publish_checkpoint(path, tmp, blob):
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def publish_via_helper(path, tmp, blob):
+    handle = open(tmp, "wb")
+    try:
+        handle.write(blob)
+        _sync(handle)  # wrapper fsync, resolved via the call graph
+    finally:
+        handle.close()
+    os.replace(tmp, path)
+
+
+def _sync(handle):
+    handle.flush()
+    os.fsync(handle.fileno())

@@ -1,0 +1,14 @@
+"""Known-good fixture: the replay surface reaches only determinism.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+# repro-lint: replay-root
+
+
+def replay_epoch(clock, entries):
+    stamp = _stamp_from(clock)  # simulated clock, not the wall clock
+    return [(stamp, entry) for entry in sorted(entries)]
+
+
+def _stamp_from(clock):
+    return clock.now()

@@ -1,0 +1,27 @@
+"""Known-bad fixture: helper wrappers that fail barrier dominance.
+
+The pre-call-graph rule only looked for a literal ``barrier`` /
+``emit_write_hooks`` attribute at the call site; these wrappers hide
+the *absence* of one behind a helper.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+
+class WrappedPager:
+    def write_page(self, pgno, data):
+        self._prepare(pgno)  # helper never reaches a barrier
+        self._file.seek(pgno * 4096)
+        self._file.write(data)
+
+    def _prepare(self, pgno):
+        self.stats["writes"] += 1
+
+
+def flush_batch(pager, pgno, raw):
+    _phase_one(pager, pgno, raw)  # forgot emit_write_hooks down there
+    pager.write_page(pgno, raw, hooks_done=True)
+
+
+def _phase_one(pager, pgno, raw):
+    pager.log.debug("about to write %d", pgno)

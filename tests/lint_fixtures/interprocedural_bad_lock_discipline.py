@@ -1,0 +1,20 @@
+"""Known-bad fixture: a finally block whose helper never releases.
+
+The cleanup call *looks* like a release wrapper but only logs — the
+rule must resolve it through the call graph to notice nothing in its
+transitive closure reaches ``release_all``.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+
+def broken_wrapper(locks, txn_id, resource):
+    locks.acquire(txn_id, resource, "X")
+    try:
+        return resource
+    finally:
+        _log_release(locks, txn_id)  # logs, never releases
+
+
+def _log_release(locks, txn_id):
+    print("released", txn_id)

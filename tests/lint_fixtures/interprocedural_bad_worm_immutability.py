@@ -1,0 +1,16 @@
+"""Known-bad fixture: mutation after a helper-wrapped WORM append.
+
+The append happens inside ``_journal``; the caller's later mutation of
+the forwarded record must still be flagged.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+
+def journal_then_mutate(clog, record):
+    _journal(clog, record)
+    record["tampered"] = True  # aliases bytes the WORM store now holds
+
+
+def _journal(clog, record):
+    clog.append(record)

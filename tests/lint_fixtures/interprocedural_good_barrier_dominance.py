@@ -1,0 +1,27 @@
+"""Known-good fixture: barriers satisfied through helper wrappers.
+
+Both dominators live one call away — the rule must follow the call
+graph to see them instead of flagging the call sites.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+
+class WrappedPager:
+    def write_page(self, pgno, data):
+        self._drain_barriers(pgno)  # wrapper runs the barrier chain
+        self._file.seek(pgno * 4096)
+        self._file.write(data)
+
+    def _drain_barriers(self, pgno):
+        for barrier in self.pwrite_barriers:
+            barrier(pgno)
+
+
+def flush_batch(pager, pgno, raw):
+    _phase_one(pager, pgno, raw)  # wrapper emits the write hooks
+    pager.write_page(pgno, raw, hooks_done=True)
+
+
+def _phase_one(pager, pgno, raw):
+    pager.emit_write_hooks(pgno, raw)

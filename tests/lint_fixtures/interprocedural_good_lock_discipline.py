@@ -1,0 +1,16 @@
+"""Known-good fixture: release_all satisfied through a helper wrapper.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+
+def safe_wrapper(locks, txn_id, resource):
+    locks.acquire(txn_id, resource, "X")
+    try:
+        return resource
+    finally:
+        _cleanup(locks, txn_id)  # wrapper release via the call graph
+
+
+def _cleanup(locks, txn_id):
+    locks.release_all(txn_id)

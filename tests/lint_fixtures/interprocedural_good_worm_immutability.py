@@ -1,0 +1,26 @@
+"""Known-good fixture: helper calls that do NOT freeze the argument.
+
+A helper that merely measures the record, or a caller that appends a
+copy, leaves the original mutable — the forwarding analysis must not
+over-freeze.
+
+Never imported — parsed by repro-lint in tests/test_repro_lint.py.
+"""
+
+
+def stage_then_mutate(clog, record):
+    _measure(clog, record)
+    record["size"] = 3  # helper never handed it to the WORM store
+
+
+def _measure(clog, record):
+    return len(record)
+
+
+def journal_copy(clog, record):
+    _journal(clog, dict(record))
+    record["free"] = True  # a copy was appended, not this object
+
+
+def _journal(clog, record):
+    clog.append(record)

@@ -1,0 +1,203 @@
+"""Unit tests for the interprocedural call-graph layer.
+
+Small synthetic projects are parsed straight into ``ModuleUnit`` s so
+each resolution strategy — local names, imports, ``self`` through base
+classes, the unique-name fallback — is pinned down in isolation, along
+with the bounded transitive summaries the rules build on.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import (CallGraph, iter_calls,
+                                      module_name_for)
+from repro.analysis.core import Project, load_unit
+
+
+def build(tmp_path, sources):
+    units = []
+    for name, src in sources.items():
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(src))
+        units.append(load_unit(path))
+    project = Project(units)
+    return project.callgraph(), units
+
+
+def fn(graph, units, qualname):
+    for unit in units:
+        for info in graph.functions_of_unit(unit):
+            if info.qualname == qualname:
+                return info
+    raise AssertionError(f"no function {qualname!r} in project")
+
+
+def first_call(info):
+    return next(iter_calls(info.node))
+
+
+class TestModuleNames:
+    def test_src_layout_maps_to_dotted_package(self):
+        assert module_name_for("src/repro/txn/locks.py") == \
+            "repro.txn.locks"
+        assert module_name_for("/x/src/repro/core/__init__.py") == \
+            "repro.core"
+
+    def test_files_outside_src_are_top_level(self):
+        assert module_name_for("tests/test_foo.py") == "test_foo"
+
+
+class TestResolution:
+    def test_local_name(self, tmp_path):
+        graph, units = build(tmp_path, {"a.py": """
+            def outer():
+                inner()
+
+            def inner():
+                pass
+        """})
+        outer = fn(graph, units, "outer")
+        targets = graph.resolve_call(first_call(outer), outer)
+        assert [t.qualname for t in targets] == ["inner"]
+
+    def test_from_import(self, tmp_path):
+        graph, units = build(tmp_path, {
+            "a.py": """
+                from b import helper
+
+                def outer():
+                    helper()
+            """,
+            "b.py": """
+                def helper():
+                    pass
+            """,
+        })
+        outer = fn(graph, units, "outer")
+        targets = graph.resolve_call(first_call(outer), outer)
+        assert [t.key for t in targets] == ["b:helper"]
+
+    def test_self_method_through_base_class(self, tmp_path):
+        graph, units = build(tmp_path, {"a.py": """
+            class Base:
+                def close(self):
+                    self.locks.release_all()
+
+            class Child(Base):
+                def run(self):
+                    self.close()
+        """})
+        run = fn(graph, units, "Child.run")
+        targets = graph.resolve_call(first_call(run), run)
+        assert [t.qualname for t in targets] == ["Base.close"]
+        assert graph.call_reaches_attr(first_call(run), run,
+                                       {"release_all"})
+
+    def test_unique_name_fallback(self, tmp_path):
+        graph, units = build(tmp_path, {"a.py": """
+            class Pager:
+                def flush_all(self):
+                    self.file.sync()
+
+            def drive(pager):
+                pager.flush_all()
+        """})
+        drive = fn(graph, units, "drive")
+        targets = graph.resolve_call(first_call(drive), drive)
+        assert [t.qualname for t in targets] == ["Pager.flush_all"]
+
+    def test_ambiguous_name_does_not_resolve(self, tmp_path):
+        graph, units = build(tmp_path, {"a.py": """
+            class A:
+                def flush_all(self):
+                    pass
+
+            class B:
+                def flush_all(self):
+                    pass
+
+            def drive(pager):
+                pager.flush_all()
+        """})
+        drive = fn(graph, units, "drive")
+        assert graph.resolve_call(first_call(drive), drive) == []
+
+
+class TestSummaries:
+    CHAIN = {"a.py": """
+        def f0():
+            f1()
+
+        def f1():
+            f2()
+
+        def f2():
+            handle.deep_sync()
+
+        def drive():
+            f0()
+    """}
+
+    def test_transitive_attrs_follow_the_chain(self, tmp_path):
+        graph, units = build(tmp_path, self.CHAIN)
+        f0 = fn(graph, units, "f0")
+        assert "deep_sync" in graph.transitive_attrs(f0)
+
+    def test_depth_bound_cuts_the_chain(self, tmp_path):
+        graph, units = build(tmp_path, self.CHAIN)
+        drive = fn(graph, units, "drive")
+        call = first_call(drive)
+        assert graph.call_reaches_attr(call, drive, {"deep_sync"},
+                                       depth=2)
+        assert not graph.call_reaches_attr(call, drive, {"deep_sync"},
+                                           depth=1)
+
+    def test_mutual_recursion_terminates(self, tmp_path):
+        graph, units = build(tmp_path, {"a.py": """
+            def ping():
+                pong()
+
+            def pong():
+                ping()
+        """})
+        ping = fn(graph, units, "ping")
+        assert "pong" in graph.transitive_attrs(ping)
+
+    def test_reachable_functions_is_transitive(self, tmp_path):
+        graph, units = build(tmp_path, self.CHAIN)
+        drive = fn(graph, units, "drive")
+        keys = graph.reachable_functions([drive])
+        assert {"a:drive", "a:f0", "a:f1", "a:f2"} <= keys
+
+    def test_reaches_finds_a_buried_call(self, tmp_path):
+        graph, units = build(tmp_path, {"a.py": """
+            import time
+
+            def root():
+                middle()
+
+            def middle():
+                leaf()
+
+            def leaf():
+                return time.time()
+        """})
+
+        def pred(call):
+            names = [n.id for n in ast.walk(call.func)
+                     if isinstance(n, ast.Name)]
+            return "wall clock" if "time" in names else None
+
+        root = fn(graph, units, "root")
+        assert graph.reaches(root, pred) == "wall clock"
+        leafless = fn(graph, units, "middle")
+        assert graph.reaches(leafless, pred) == "wall clock"
+
+
+class TestProjectCache:
+    def test_callgraph_is_cached_per_project(self, tmp_path):
+        path = tmp_path / "a.py"
+        path.write_text("def f():\n    pass\n")
+        project = Project([load_unit(path)])
+        assert project.callgraph() is project.callgraph()
+        assert isinstance(project.callgraph(), CallGraph)

@@ -181,7 +181,7 @@ class TestCrashResetLockTable:
         mgr = make_manager(tmp_path)
         table_ref = mgr.locks  # e.g. the engine's reference
         txn = mgr.begin()
-        mgr.locks.acquire(txn.txn_id, "r", LockMode.EXCLUSIVE)
+        mgr.locks.acquire(txn.txn_id, "r", LockMode.EXCLUSIVE)  # repro-lint: disable=lock-discipline -- unit test drives the LockTable directly; crash_reset is the release under test
         mgr.crash_reset()
         assert mgr.locks is table_ref
         assert table_ref.holders("r") == set()

@@ -9,6 +9,7 @@ the real source tree lints clean.
 """
 
 import json
+import re
 from pathlib import Path
 
 import pytest
@@ -25,6 +26,10 @@ RULES = [
     "record-exhaustiveness",
     "replay-determinism",
     "lock-discipline",
+    "exception-safe-release",
+    "fsync-before-rename",
+    "executor-confinement",
+    "replay-reachability",
 ]
 
 #: violations deliberately planted in each bad fixture
@@ -34,6 +39,18 @@ EXPECTED_BAD = {
     "record-exhaustiveness": 1,
     "replay-determinism": 4,
     "lock-discipline": 2,
+    "exception-safe-release": 2,
+    "fsync-before-rename": 2,
+    "executor-confinement": 4,
+    "replay-reachability": 2,
+}
+
+#: violations the pre-call-graph rules could not see: the barrier /
+#: release / append hides behind a helper wrapper
+EXPECTED_INTERPROCEDURAL = {
+    "barrier-dominance": 2,
+    "lock-discipline": 1,
+    "worm-immutability": 1,
 }
 
 
@@ -63,6 +80,20 @@ class TestRuleFixtures:
             assert finding.line > 0
             assert finding.path.endswith("bad_lock_discipline.py")
             assert "[lock-discipline]" in str(finding)
+
+    @pytest.mark.parametrize("rule", sorted(EXPECTED_INTERPROCEDURAL))
+    def test_interprocedural_bad_fixture_is_flagged(self, rule):
+        path = fixture("interprocedural_bad", rule)
+        findings = run_lint([path], select=[rule])
+        assert len(findings) == EXPECTED_INTERPROCEDURAL[rule], \
+            "\n".join(str(f) for f in findings)
+        assert all(f.rule == rule for f in findings)
+
+    @pytest.mark.parametrize("rule", sorted(EXPECTED_INTERPROCEDURAL))
+    def test_interprocedural_good_fixture_is_clean(self, rule):
+        # the wrapper genuinely barriers/releases/measures: following
+        # the call graph must SILENCE these, not just find more bugs
+        assert run_lint([fixture("interprocedural_good", rule)]) == []
 
     def test_exhaustiveness_needs_enum_in_file_set(self, tmp_path):
         # a marker whose enum is outside the linted set is itself an error
@@ -166,9 +197,94 @@ class TestCli:
         for rule in RULES:
             assert rule in out
 
+    def test_gh_format_matches_problem_matcher(self, capsys):
+        # one line per finding, parseable by the CI problem matcher
+        code = main(["--format", "gh", fixture("bad", "lock-discipline")])
+        assert code == 1
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == EXPECTED_BAD["lock-discipline"]
+        pattern = re.compile(
+            r"^(.+?):(\d+):(\d+): ([a-z0-9-]+): (.+)$")
+        for line in lines:
+            match = pattern.match(line)
+            assert match, line
+            assert match.group(4) == "lock-discipline"
+
+    def test_exclude_pattern_skips_files(self, capsys):
+        # every bad fixture masked out: the sweep over the whole
+        # fixture directory comes back clean
+        code = main(["--exclude", "*bad_*", str(FIXTURES)])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_output_is_deterministic(self, capsys):
+        runs = []
+        for _ in range(2):
+            main(["--format", "json", str(FIXTURES)])
+            runs.append(capsys.readouterr().out)
+        assert runs[0] == runs[1]
+        data = json.loads(runs[0])
+        keys = [(d["path"], d["line"], d["col"], d["rule"]) for d in data]
+        assert keys == sorted(keys)
+
+
+class TestBaseline:
+    def test_update_then_pass(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        bad = fixture("bad", "lock-discipline")
+        code = main(["--baseline", str(baseline),
+                     "--update-baseline", bad])
+        assert code == 0
+        assert "baseline updated" in capsys.readouterr().out
+        recorded = json.loads(baseline.read_text())
+        assert len(recorded) == EXPECTED_BAD["lock-discipline"]
+
+        # the ratchet: known findings no longer fail the run
+        code = main(["--baseline", str(baseline), bad])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baselined" in out
+
+    def test_new_findings_still_fail(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        old = fixture("bad", "lock-discipline")
+        main(["--baseline", str(baseline), "--update-baseline", old])
+        capsys.readouterr()
+
+        # a file the baseline has never seen introduces fresh findings
+        fresh = fixture("bad", "worm-immutability")
+        code = main(["--baseline", str(baseline), old, fresh])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "worm-immutability" in out
+        assert "lock-discipline" not in out  # baselined away
+
+    def test_update_baseline_requires_baseline_path(self, capsys):
+        assert main(["--update-baseline",
+                     fixture("good", "lock-discipline")]) == 2
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{not json")
+        assert main(["--baseline", str(baseline),
+                     fixture("good", "lock-discipline")]) == 2
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        assert main(["--baseline", str(tmp_path / "absent.json"),
+                     fixture("good", "lock-discipline")]) == 2
+
 
 class TestSourceTree:
     def test_src_lints_clean(self):
         # the acceptance criterion: repro-lint src/ exits 0
         findings = run_lint([str(SRC)])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_tests_benchmarks_examples_lint_clean(self):
+        # satellite acceptance: the whole working tree is covered, with
+        # the deliberately-broken fixtures masked out exactly as in CI
+        root = SRC.parent.parent
+        paths = [root / "tests", root / "benchmarks", root / "examples"]
+        findings = run_lint([str(p) for p in paths if p.is_dir()],
+                            exclude=["*lint_fixtures*"])
         assert findings == [], "\n".join(str(f) for f in findings)

@@ -37,9 +37,12 @@ def make_db(path, mode=ComplianceMode.LOG_CONSISTENT, key=None):
 @pytest.fixture
 def server(tmp_path):
     db = make_db(tmp_path / "db")
+    # schema setup happens before start(): once the writer thread is
+    # running, the main thread must not touch the engine (the runtime
+    # sanitizer enforces exactly this)
+    db.create_relation(KV)
     srv = ComplianceServer(db, ServerConfig(record_history=True,
                                             allow_crash_ops=True)).start()
-    db.create_relation(KV)  # direct: schema setup, not client traffic
     yield srv
     srv.shutdown()
     db.close()
@@ -401,9 +404,9 @@ class TestConcurrentClients:
             self, tmp_path, mode):
         key = AuditorKey.generate()
         db = make_db(tmp_path / "live", mode, key)
+        db.create_relation(KV)  # before start(): writer owns db after
         srv = ComplianceServer(db, ServerConfig(
             record_history=True, allow_crash_ops=True)).start()
-        db.create_relation(KV)
         # schema DDL ran outside the server: journal it by hand so the
         # replay database performs the identical op sequence
         srv.service._record(("create_relation", "kv",

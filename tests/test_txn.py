@@ -120,7 +120,7 @@ class TestTransactionManager:
     def test_locks_released_on_commit(self, manager):
         mgr, _ = manager
         txn = mgr.begin()
-        mgr.locks.acquire(txn.txn_id, "row", LockMode.EXCLUSIVE)
+        mgr.locks.acquire(txn.txn_id, "row", LockMode.EXCLUSIVE)  # repro-lint: disable=lock-discipline -- unit test drives the LockTable directly; commit's release_all is the behaviour under test
         mgr.commit(txn)
         other = mgr.begin()
         mgr.locks.acquire(other.txn_id, "row", LockMode.EXCLUSIVE)
@@ -136,7 +136,7 @@ class TestTransactionManager:
     def test_crash_reset_clears_state(self, manager):
         mgr, _ = manager
         txn = mgr.begin()
-        mgr.locks.acquire(txn.txn_id, "row", LockMode.EXCLUSIVE)
+        mgr.locks.acquire(txn.txn_id, "row", LockMode.EXCLUSIVE)  # repro-lint: disable=lock-discipline -- unit test drives the LockTable directly; crash_reset clearing locks is the behaviour under test
         mgr.crash_reset()
         assert mgr.active_count == 0
         assert mgr.locks.holders("row") == set()
