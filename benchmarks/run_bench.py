@@ -336,6 +336,115 @@ def measure_audit_scaling(txns: int, root: Path,
     }
 
 
+def measure_shard_scaling(txns: int, root: Path,
+                          shard_counts: tuple = (1, 2, 4),
+                          repeats: int = 2) -> dict:
+    """The same TPC-C workload across 1, 2, and 4 shards.
+
+    Two claims are gated:
+
+    * **equality** — partitioning is invisible to the workload: every
+      relation holds exactly the same keys no matter the shard count
+      (the 1-shard run is the baseline);
+    * **audit scaling** — each shard is a complete database audited
+      independently, so the audit's critical path (the slowest single
+      shard, i.e. wall-clock when shards are audited concurrently on
+      separate boxes) shrinks as shards multiply.  Like the
+      partitioned-audit section, each shard's pager pays
+      :data:`AUDIT_IO_DELAY` per page read so the scan is I/O-bound the
+      way the paper's terabyte worry is.
+    """
+    from repro.common.config import (ComplianceConfig, EngineConfig,
+                                     ObsConfig)
+    from repro.shard import DistributedAuditor, ShardedDB
+    from repro.tpcc import TPCCLoader
+    from repro.tpcc.driver import TPCCDriver
+    from repro.tpcc.schema import ALL_SCHEMAS
+
+    warehouses = max(shard_counts)
+    scale = TPCCScale(warehouses=warehouses, districts_per_warehouse=4,
+                      customers_per_district=10, items=50,
+                      initial_orders_per_district=4, pad=4)
+    config = DBConfig(
+        engine=EngineConfig(page_size=2048, buffer_pages=256,
+                            io_delay_seconds=0.0),
+        compliance=ComplianceConfig(
+            mode=ComplianceMode.LOG_CONSISTENT),
+        obs=ObsConfig(enabled=True))
+
+    baseline_keys: dict = {}
+    mismatched: list = []
+    unclean: list = []
+    cells: dict = {}
+    for shards in shard_counts:
+        sharded = ShardedDB.create(root / f"shards-{shards}", shards,
+                                   config)
+        built = time.perf_counter()
+        TPCCLoader(sharded, scale, seed=42).load()
+        TPCCDriver(sharded, scale, seed=7).run(txns)
+        sharded.checkpoint()
+        build_seconds = time.perf_counter() - built
+
+        keys = {schema.name: [k for k, _ in sharded.scan(schema.name)]
+                for schema in ALL_SCHEMAS}
+        if not baseline_keys:
+            baseline_keys = keys
+        elif keys != baseline_keys:
+            mismatched.append(shards)
+
+        for backend in sharded.backends:
+            backend.engine.pager.io_delay = AUDIT_IO_DELAY
+            backend.engine.buffer.drop_all()  # audit from cold cache
+        best_total = None
+        best_critical = None
+        report = None
+        for _ in range(repeats):
+            for backend in sharded.backends:
+                backend.engine.buffer.drop_all()
+            started = time.perf_counter()
+            report = DistributedAuditor(sharded).audit(rotate=False)
+            elapsed = time.perf_counter() - started
+            critical = max(report.shard_seconds)
+            if best_total is None or elapsed < best_total:
+                best_total = elapsed
+            if best_critical is None or critical < best_critical:
+                best_critical = critical
+        if not (report.ok and report.verify(sharded.auditor_key)):
+            unclean.append(shards)
+        counters = sharded.metrics()["coordinator"]["counters"]
+        cells[str(shards)] = {
+            "build_seconds": round(build_seconds, 3),
+            "audit_total_seconds": round(best_total, 4),
+            "audit_critical_path_seconds": round(best_critical, 4),
+            "pages_scanned": sum(r.pages_scanned
+                                 for r in report.shard_reports),
+            "final_tuples": report.final_tuples,
+            "combined_final_digest": report.combined_final_digest[:32],
+            "commits_1pc": counters.get("shard_commit_1pc_total", 0),
+            "commits_2pc": counters.get("shard_commit_2pc_total", 0),
+            "ok": report.ok,
+        }
+        sharded.close()
+
+    lo, hi = str(min(shard_counts)), str(max(shard_counts))
+    speedup = (cells[lo]["audit_critical_path_seconds"] /
+               cells[hi]["audit_critical_path_seconds"])
+    return {
+        "transactions": txns,
+        "warehouses": warehouses,
+        "io_delay_seconds": AUDIT_IO_DELAY,
+        "shards": cells,
+        "contents_match": not mismatched,
+        "mismatched_shard_counts": mismatched,
+        "audits_clean": not unclean,
+        "unclean_shard_counts": unclean,
+        "critical_path_speedup": round(speedup, 2),
+        # the trend gate: auditing the largest fleet concurrently must
+        # beat auditing the single database (allow 10% noise)
+        "critical_path_decreasing": speedup > 1.1,
+    }
+
+
 def _percentile_ms(sorted_ms: list, q: float):
     if not sorted_ms:
         return None
@@ -490,7 +599,7 @@ def main(argv=None) -> int:
                         help="transactions per mode (default 600)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent /
-                        "BENCH_PR7.json")
+                        "BENCH_PR9.json")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="embed a previously captured report")
     parser.add_argument("--check-baseline", type=Path, default=None,
@@ -522,6 +631,12 @@ def main(argv=None) -> int:
     parser.add_argument("--server-only", action="store_true",
                         help="run only the concurrent-clients server "
                              "section")
+    parser.add_argument("--shard-only", action="store_true",
+                        help="run only the shard-scaling section")
+    parser.add_argument("--shards", default=None,
+                        help="comma-separated shard counts for the "
+                             "shard-scaling section (default 1,2,4; "
+                             "1,2 under --quick)")
     parser.add_argument("--connections", default=None,
                         help="comma-separated connection counts for the "
                              "server section (default 1,4,16,64; "
@@ -548,8 +663,19 @@ def main(argv=None) -> int:
             parser.error("--audit-workers counts must be >= 1")
     else:
         worker_counts = (2,) if args.quick else (2, 4, 8)
-    if args.audit_only and args.server_only:
-        parser.error("--audit-only and --server-only are exclusive")
+    if sum([args.audit_only, args.server_only, args.shard_only]) > 1:
+        parser.error("--audit-only, --server-only and --shard-only "
+                     "are exclusive")
+    if args.shards is not None:
+        try:
+            shard_counts = tuple(
+                int(part) for part in args.shards.split(","))
+        except ValueError:
+            parser.error("--shards must be comma-separated ints")
+        if any(count < 1 for count in shard_counts):
+            parser.error("--shards counts must be >= 1")
+    else:
+        shard_counts = (1, 2) if args.quick else (1, 2, 4)
     if args.connections is not None:
         try:
             server_connections = tuple(
@@ -564,21 +690,26 @@ def main(argv=None) -> int:
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         report = {}
-        if not args.audit_only and not args.server_only:
+        solo = args.audit_only or args.server_only or args.shard_only
+        if not solo:
             report = run_sweep(args.txns, Path(tmp),
                                repeats=1 if args.quick else args.repeats)
             report["instrumentation_overhead"] = measure_obs_overhead(
                 args.txns, Path(tmp))
             report["digest_equivalence"] = measure_digest_equivalence(
                 args.txns, Path(tmp), workers=args.hash_workers)
-        if not args.server_only:
+        if not solo or args.audit_only:
             report["audit_scaling"] = measure_audit_scaling(
                 args.txns, Path(tmp), worker_counts=worker_counts,
                 repeats=1 if args.quick else 2)
-        if not args.audit_only:
+        if not solo or args.server_only:
             report["server_concurrency"] = measure_server_concurrency(
                 Path(tmp), connections=server_connections,
                 total_txns=64 if args.quick else 256)
+        if not solo or args.shard_only:
+            report["shard_scaling"] = measure_shard_scaling(
+                args.txns, Path(tmp), shard_counts=shard_counts,
+                repeats=1 if args.quick else 2)
     report = {"label": args.label, "transactions_per_mode": args.txns,
               "scale": "small", "quick": args.quick, **report}
     if args.baseline is not None:
@@ -621,7 +752,34 @@ def main(argv=None) -> int:
                       f"{cell['tps']} txn/s, p50 {lat['p50']}ms, "
                       f"p95 {lat['p95']}ms, p99 {lat['p99']}ms "
                       f"({cell['conflicts']} conflicts)")
+    shard = report.get("shard_scaling")
+    if shard is not None:
+        for count, cell in shard["shards"].items():
+            print(f"  shard x{count}: audit critical path "
+                  f"{cell['audit_critical_path_seconds']}s "
+                  f"(total {cell['audit_total_seconds']}s, "
+                  f"{cell['pages_scanned']} pages, "
+                  f"{cell['commits_2pc']} 2PC commits)")
+        print(f"  shard critical-path speedup "
+              f"{shard['critical_path_speedup']}x at "
+              f"{max(shard['shards'])} shards")
     failed = False
+    if shard is not None:
+        if not shard["contents_match"]:
+            print("  FAIL: sharded table contents diverge from the "
+                  f"1-shard baseline: {shard['mismatched_shard_counts']}",
+                  file=sys.stderr)
+            failed = True
+        if not shard["audits_clean"]:
+            print("  FAIL: distributed audit unclean at shard counts "
+                  f"{shard['unclean_shard_counts']}", file=sys.stderr)
+            failed = True
+        if not shard["critical_path_decreasing"]:
+            print("  FAIL: audit critical path did not shrink with "
+                  "the shard count "
+                  f"({shard['critical_path_speedup']}x)",
+                  file=sys.stderr)
+            failed = True
     if audit is not None and not audit["reports_match"]:
         print("  FAIL: parallel audit report(s) differ from serial: "
               f"{audit['mismatched_configs']}", file=sys.stderr)

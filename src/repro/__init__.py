@@ -19,6 +19,7 @@ See ``examples/quickstart.py`` for a full tour.
 
 __version__ = "1.0.0"
 
+from .api import ComplianceBackend
 from .common.clock import SimulatedClock, days, minutes, seconds, years
 from .common.codec import Field, FieldType, Schema
 from .common.config import (ComplianceConfig, ComplianceMode, DBConfig,
@@ -26,11 +27,15 @@ from .common.config import (ComplianceConfig, ComplianceMode, DBConfig,
 from .core import (AuditReport, Auditor, CompliantDB, Finding,
                    ParallelAuditor, VacuumReport)
 from .crypto import AddHash, AuditorKey, SeqHash
+from .shard import DistributedAuditor, DistributedAuditReport, ShardedDB
 
 __all__ = [
-    "AddHash", "AuditReport", "Auditor", "AuditorKey", "ComplianceConfig",
-    "ComplianceMode", "CompliantDB", "DBConfig", "EngineConfig", "Field",
+    "AddHash", "AuditReport", "Auditor", "AuditorKey",
+    "ComplianceBackend", "ComplianceConfig",
+    "ComplianceMode", "CompliantDB", "DBConfig",
+    "DistributedAuditReport", "DistributedAuditor", "EngineConfig",
+    "Field",
     "FieldType", "Finding", "ParallelAuditor", "Schema", "SeqHash",
-    "SimulatedClock",
+    "ShardedDB", "SimulatedClock",
     "VacuumReport", "days", "minutes", "seconds", "years", "__version__",
 ]

@@ -1,0 +1,204 @@
+"""The unified database API: one typed backend interface.
+
+:class:`ComplianceBackend` is the protocol every database-shaped object
+in this tree speaks — the in-process :class:`~repro.core.database.
+CompliantDB`, the remote :class:`~repro.server.client.ServerClient`, and
+the :class:`~repro.shard.ShardedDB` coordinator (which both *consumes*
+backends as its shards and *implements* the protocol itself, so shards
+nest).  Before this module existed the two concrete classes exposed
+near-identical but independently drifting method sets; the shard router
+would have had to special-case its backends.  The protocol pins the
+shared surface, and the conformance suite (``tests/test_api_conformance
+.py``) runs one parametrized battery against every implementation.
+
+Transaction handles are deliberately opaque (:data:`TxnHandle`): the
+engine hands out live :class:`~repro.txn.manager.Transaction` objects,
+the wire client hands out integer ids, and the coordinator hands out
+:class:`~repro.shard.coordinator.DistributedTxn` envelopes.  Callers
+must only pass a handle back to the backend that issued it.
+
+Signature alignment: ``create_relation`` canonically takes a
+:class:`~repro.common.codec.Schema`.  The wire client's historical
+spelling — ``create_relation(name, fields, key)`` — is accepted by every
+backend through :func:`coerce_relation_args` with a
+:class:`DeprecationWarning`, so old callers keep working while new code
+converges on the typed form.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import (Any, ContextManager, Dict, List, Optional, Protocol,
+                    Tuple, runtime_checkable)
+
+from .common.codec import Field, FieldType, Schema
+from .common.errors import ConfigError
+
+#: an opaque transaction handle: a live ``Transaction`` (in-process), an
+#: ``int`` (over the wire), or a ``DistributedTxn`` (sharded)
+TxnHandle = Any
+
+Row = Dict[str, Any]
+Key = Tuple[Any, ...]
+
+
+@runtime_checkable
+class ComplianceBackend(Protocol):
+    """The surface a compliant database presents, local or remote.
+
+    Every method maps 1:1 onto the paper's architecture operations; the
+    protocol exists so routers, loaders, and drivers can be written once
+    against it and handed any implementation.
+    """
+
+    # -- transactions ------------------------------------------------------
+
+    def begin(self) -> TxnHandle:
+        """Start a transaction; returns an opaque handle."""
+        ...
+
+    def commit(self, txn: TxnHandle) -> int:
+        """Commit; returns the commit time."""
+        ...
+
+    def abort(self, txn: TxnHandle) -> None:
+        """Roll back a transaction."""
+        ...
+
+    def prepare(self, txn: TxnHandle, gid: str) -> None:
+        """2PC phase one: durably prepare under the coordinator's gid."""
+        ...
+
+    def transaction(self) -> ContextManager[TxnHandle]:
+        """Context manager: commit on success, abort on exception."""
+        ...
+
+    @property
+    def halted(self) -> bool:
+        """Whether transaction processing is halted (compliance halt)."""
+        ...
+
+    # -- DDL / DML ---------------------------------------------------------
+
+    def create_relation(self, schema: Schema,
+                        use_tsb: Optional[bool] = None) -> Any:
+        """Create a relation from a :class:`Schema` (audited)."""
+        ...
+
+    def insert(self, txn: TxnHandle, relation: str, row: Row) -> None:
+        """Insert a tuple."""
+        ...
+
+    def insert_many(self, txn: TxnHandle, relation: str,
+                    rows: List[Row]) -> None:
+        """Insert a batch of tuples into one relation."""
+        ...
+
+    def update(self, txn: TxnHandle, relation: str, row: Row) -> None:
+        """Write a new version of an existing tuple."""
+        ...
+
+    def delete(self, txn: TxnHandle, relation: str, key: Key) -> None:
+        """Logically delete a tuple (end-of-life version)."""
+        ...
+
+    def get(self, relation: str, key: Key, txn: Optional[TxnHandle] = None,
+            at: Optional[int] = None) -> Optional[Row]:
+        """Read a row, current or as of a past time."""
+        ...
+
+    def scan(self, relation: str, lo: Optional[Key] = None,
+             hi: Optional[Key] = None, txn: Optional[TxnHandle] = None,
+             at: Optional[int] = None) -> List[Tuple[Key, Row]]:
+        """Range scan of visible rows, ordered by key."""
+        ...
+
+    # -- time / maintenance ------------------------------------------------
+
+    def now(self) -> int:
+        """The backend's current (simulated) time."""
+        ...
+
+    def maintenance(self, force: bool = False) -> bool:
+        """Run regret-interval duties if due; True when work was done."""
+        ...
+
+    def checkpoint(self) -> None:
+        """Apply pending lazy stamps and flush WAL + dirty pages."""
+        ...
+
+    def metrics(self) -> Dict[str, Any]:
+        """Metrics snapshot (JSON-exporter shape)."""
+        ...
+
+    def close(self) -> None:
+        """Release the backend (clean shutdown / disconnect)."""
+        ...
+
+
+def coerce_relation_args(schema: Any, args: Tuple[Any, ...],
+                         fields: Optional[List[Tuple[str, str]]],
+                         key: Optional[List[str]],
+                         use_tsb: Optional[bool]
+                         ) -> Tuple[Schema, Optional[bool]]:
+    """Normalise ``create_relation`` arguments to ``(Schema, use_tsb)``.
+
+    Canonical call shapes::
+
+        create_relation(schema)
+        create_relation(schema, use_tsb)
+
+    Deprecated legacy spelling (the wire client's historical surface),
+    accepted positionally or by keyword with a DeprecationWarning::
+
+        create_relation(name, fields, key[, use_tsb])
+        create_relation(name, fields=[...], key=[...])
+
+    where ``fields`` are (name, type-string) pairs using the
+    :class:`~repro.common.codec.FieldType` values.
+    """
+    if isinstance(schema, Schema):
+        if fields is not None or key is not None:
+            raise ConfigError(
+                "create_relation: pass either a Schema or the legacy "
+                "(name, fields, key) spelling, not both")
+        if args:
+            if len(args) > 1 or use_tsb is not None:
+                raise ConfigError(
+                    "create_relation(schema) takes at most one extra "
+                    "argument (use_tsb)")
+            use_tsb = args[0]
+        return schema, use_tsb
+    if not isinstance(schema, str):
+        raise ConfigError(
+            f"create_relation needs a Schema (got {type(schema).__name__})")
+    name = schema
+    extras = list(args)
+    if extras:
+        if fields is not None or key is not None:
+            raise ConfigError(
+                "create_relation: legacy fields/key given both "
+                "positionally and by keyword")
+        fields = extras.pop(0)
+        key = extras.pop(0) if extras else None
+        if extras:
+            if use_tsb is not None:
+                raise ConfigError("create_relation: use_tsb given twice")
+            use_tsb = extras.pop(0)
+        if extras:
+            raise ConfigError("create_relation: too many arguments")
+    if fields is None or key is None:
+        raise ConfigError(
+            "create_relation(name, ...) needs both fields and key")
+    warnings.warn(
+        "create_relation(name, fields, key) is deprecated; pass a "
+        "Schema instead", DeprecationWarning, stacklevel=3)
+    built = Schema(name,
+                   [Field(str(fname), FieldType(str(ftype)))
+                    for fname, ftype in fields],
+                   key_fields=[str(k) for k in key])
+    return built, use_tsb
+
+
+__all__ = ["ComplianceBackend", "Key", "Row", "TxnHandle",
+           "coerce_relation_args"]

@@ -187,3 +187,31 @@ class ServerRequestError(ServerError):
         super().__init__(message)
         self.code = code
         self.retryable = retryable
+
+
+# --------------------------------------------------------------------------
+# Shard coordinator (2PC across backends)
+# --------------------------------------------------------------------------
+
+
+class ShardError(ReproError):
+    """Base class for shard-coordinator failures."""
+
+
+class ShardCommitError(ShardError):
+    """2PC phase two failed on some participant *after* the commit
+    decision was journaled.  The global transaction **is committed**:
+    recovering the failed shard against the coordinator's journal
+    completes it deterministically.  Carries the gid and the per-shard
+    failures so the operator knows which shards need recovery."""
+
+    def __init__(self, gid: str,
+                 failures: "dict[int, BaseException]") -> None:
+        shards = ", ".join(f"shard {idx}: {exc!r}"
+                           for idx, exc in sorted(failures.items()))
+        super().__init__(
+            f"2PC decision for {gid} is journaled COMMIT but phase two "
+            f"failed on {len(failures)} shard(s) ({shards}); recover "
+            "the shard(s) through the coordinator to complete it")
+        self.gid = gid
+        self.failures = failures

@@ -291,6 +291,14 @@ class CompliantDB:
         """Roll back a transaction."""
         self.engine.abort(txn)
 
+    def prepare(self, txn, gid: str) -> None:
+        """2PC phase one: durably prepare under the coordinator's gid.
+
+        The transaction keeps its locks and admits no further writes;
+        commit or abort it once the coordinator decides (see
+        :mod:`repro.shard`)."""
+        self.engine.prepare(txn, gid)
+
     def transaction(self):
         """Context manager: commit on success, abort on exception."""
         return self.engine.transaction()
@@ -303,9 +311,17 @@ class CompliantDB:
         :meth:`recover`."""
         return self.engine.txns.halted
 
-    def create_relation(self, schema: Schema,
-                        use_tsb: Optional[bool] = None):
-        """Create a relation (transaction-time, audited)."""
+    def create_relation(self, schema: Schema, *args,
+                        use_tsb: Optional[bool] = None,
+                        fields=None, key=None):
+        """Create a relation (transaction-time, audited).
+
+        Canonically takes a :class:`Schema`; the deprecated
+        ``(name, fields, key)`` spelling is coerced with a warning
+        (see :func:`repro.api.coerce_relation_args`)."""
+        from ..api import coerce_relation_args
+        schema, use_tsb = coerce_relation_args(schema, args, fields, key,
+                                               use_tsb)
         return self.engine.create_relation(schema, use_tsb=use_tsb)
 
     def insert(self, txn, relation: str, row: Dict[str, Any]) -> None:
@@ -380,6 +396,19 @@ class CompliantDB:
             remaining -= step
             self.maintenance()
 
+    def now(self) -> int:
+        """The database's current simulated time."""
+        return self.clock.now()
+
+    def checkpoint(self) -> None:
+        """Apply pending lazy stamps, then flush WAL and dirty pages.
+
+        The backend-protocol spelling of ``engine.run_stamper()`` +
+        ``engine.checkpoint()`` — remote and sharded backends expose the
+        same method, so loaders need no engine access."""
+        self.engine.run_stamper()
+        self.engine.checkpoint()
+
     def prepare_for_audit(self) -> None:
         """Quiesce for audit: drain transactions, stamps, dirty pages."""
         self.engine.quiesce()
@@ -399,24 +428,37 @@ class CompliantDB:
         self._was_clean = False
         self._c_crashes.inc()
 
-    def recover(self) -> RecoveryReport:
+    def recover(self, in_doubt_commits: Optional[Any] = None
+                ) -> RecoveryReport:
         """Auditable crash recovery (a true no-op after a clean shutdown).
 
         After a clean shutdown nothing is replayed at all: replaying the
         WAL against a quiesced database would silently *repair* any
         tampering an adversary performed while the DBMS was down, masking
         it from the audit.  Only an actual crash warrants recovery.
+
+        ``in_doubt_commits`` is the 2PC coordinator's set of committed
+        gids (from its decision journal): a prepared-but-undecided
+        transaction found in the WAL commits iff its gid is in the set
+        (presumed abort otherwise).  When the WAL holds in-doubt
+        transactions and no set is given, recovery raises
+        :class:`~repro.common.errors.RecoveryError` rather than guess.
         """
         if self._was_clean:
             return RecoveryReport()
+        resolver = None
+        if in_doubt_commits is not None:
+            decided = frozenset(in_doubt_commits)
+            resolver = decided.__contains__
         with self.obs.tracer.span("db.recover"):
             if self.plugin is not None:
                 self.plugin.begin_recovery()
                 report = self.engine.recover(
-                    on_outcomes=self.plugin.recovery_outcomes)
+                    on_outcomes=self.plugin.recovery_outcomes,
+                    resolve_in_doubt=resolver)
                 self.shredder.finish_pending()
             else:
-                report = self.engine.recover()
+                report = self.engine.recover(resolve_in_doubt=resolver)
         self._was_clean = True
         self._c_recoveries.inc()
         return report

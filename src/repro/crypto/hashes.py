@@ -176,6 +176,26 @@ class AddHash:
         if items:
             self.add_many(items)
 
+    @classmethod
+    def from_digest(cls, digest: bytes, count: int = 0) -> "AddHash":
+        """Reconstruct a running hash from a previously emitted digest.
+
+        The modular sum *is* the state, so a 64-byte digest plus the
+        item count fully resumes the fold.  This is what lets a shard
+        coordinator take per-shard audit digests off the wire and
+        :meth:`union` them into one cross-shard attestation without
+        rehashing a single tuple (the partition-mergeability the
+        parallel auditor already relies on).
+        """
+        if len(digest) != DIGEST_BYTES:
+            raise ValueError(
+                f"AddHash digest must be {DIGEST_BYTES} bytes, "
+                f"got {len(digest)}")
+        resumed = cls()
+        resumed._acc = int.from_bytes(digest, "big")
+        resumed._count = count
+        return resumed
+
     def add(self, item: Buffer) -> "AddHash":
         """Fold one item into the multiset hash."""
         self._acc = (self._acc + h_int(item)) & _MASK

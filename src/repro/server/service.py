@@ -204,7 +204,9 @@ class ComplianceService:
             "begin": self._op_begin,
             "commit": self._op_commit,
             "abort": self._op_abort,
+            "prepare": self._op_prepare,
             "insert": self._op_insert,
+            "insert_many": self._op_insert_many,
             "update": self._op_update,
             "delete": self._op_delete,
             "get": self._op_get,
@@ -212,6 +214,10 @@ class ComplianceService:
             "create_relation": self._op_create_relation,
             "info": self._op_info,
             "metrics": self._op_metrics,
+            "now": self._op_now,
+            "checkpoint": self._op_checkpoint,
+            "maintenance": self._op_maintenance,
+            "audit": self._op_audit,
             "crash_recover": self._op_crash_recover,
             "ping": self._op_ping,
         }
@@ -343,6 +349,19 @@ class ComplianceService:
         self._record(("abort", txn.txn_id))
         return {}
 
+    def _op_prepare(self, session: Session,
+                    args: Dict[str, Any]) -> Dict[str, Any]:
+        """2PC phase one on behalf of a remote shard coordinator.
+
+        The transaction stays open in the session (locks held, writes
+        fenced) until the coordinator's commit/abort decision arrives.
+        """
+        txn = self._txn(session, args)
+        gid = str(args["gid"])
+        self.db.prepare(txn, gid)
+        self._record(("prepare", txn.txn_id, gid))
+        return {}
+
     def _write(self, session: Session, args: Dict[str, Any],
                kind: str) -> Dict[str, Any]:
         txn = self._txn(session, args)
@@ -371,6 +390,23 @@ class ComplianceService:
     def _op_insert(self, session: Session,
                    args: Dict[str, Any]) -> Dict[str, Any]:
         return self._write(session, args, "insert")
+
+    def _op_insert_many(self, session: Session,
+                        args: Dict[str, Any]) -> Dict[str, Any]:
+        txn = self._txn(session, args)
+        relation = args["relation"]
+        rows = [wire_decode(row) for row in args["rows"]]
+        try:
+            self.db.insert_many(txn, relation, rows)
+        except TransactionAborted:
+            # same contract as the scalar writes: roll back server-side
+            # so the conflict is retryable, and journal the abort
+            self.db.abort(txn)
+            del session.txns[txn.txn_id]
+            self._record(("abort", txn.txn_id))
+            raise
+        self._record(("insert_many", txn.txn_id, relation, rows))
+        return {}
 
     def _op_update(self, session: Session,
                    args: Dict[str, Any]) -> Dict[str, Any]:
@@ -440,12 +476,58 @@ class ComplianceService:
                     args: Dict[str, Any]) -> Dict[str, Any]:
         return {"metrics": self.db.metrics()}
 
+    def _op_now(self, session: Session,
+                args: Dict[str, Any]) -> Dict[str, Any]:
+        # runs on the writer thread like every db touch: reading the
+        # clock must not race a concurrent tick
+        return {"now": self.db.now()}
+
+    def _op_checkpoint(self, session: Session,
+                       args: Dict[str, Any]) -> Dict[str, Any]:
+        self.db.checkpoint()
+        self._record(("checkpoint",))
+        return {}
+
+    def _op_maintenance(self, session: Session,
+                        args: Dict[str, Any]) -> Dict[str, Any]:
+        force = bool(args.get("force"))
+        ran = self.db.maintenance(force=force)
+        self._record(("maintenance", force))
+        return {"ran": bool(ran)}
+
+    def _op_audit(self, session: Session,
+                  args: Dict[str, Any]) -> Dict[str, Any]:
+        """Run a compliance audit on the writer thread.
+
+        Fails with ``TXN_STATE`` while any session holds an open
+        transaction (the auditor quiesces first), which is exactly the
+        ordering a shard coordinator needs: resolve, then audit.
+        """
+        from ..core.audit import Auditor
+        from ..core.parallel_audit import ParallelAuditor
+        rotate = bool(args.get("rotate", True))
+        workers = args.get("workers")
+        if workers:
+            auditor: Auditor = ParallelAuditor(self.db,
+                                               workers=int(workers))
+        else:
+            auditor = Auditor(self.db)
+        report = auditor.audit(rotate=rotate)
+        self._record(("audit", rotate, int(workers) if workers else None))
+        payload = dict(report.comparable())
+        payload.update(workers=report.workers,
+                       tasks_total=report.tasks_total,
+                       tasks_resumed=report.tasks_resumed)
+        return {"report": payload}
+
     def _op_crash_recover(self, session: Session,
                           args: Dict[str, Any]) -> Dict[str, Any]:
         """Simulated crash + recovery (test/bench harness op).
 
         Every session's transaction handles die with the crash, exactly
         like in-flight work on a real server that lost power.
+        ``commits`` (optional) is a 2PC coordinator's journaled
+        committed-gid list for resolving in-doubt prepared transactions.
         """
         if not self.allow_crash_ops:
             raise ServerError("crash ops are disabled on this server")
@@ -454,9 +536,12 @@ class ComplianceService:
         for live in sessions:
             live.txns.clear()
         session.txns.clear()
+        commits = args.get("commits")
+        if commits is not None:
+            commits = [str(gid) for gid in commits]
         self.db.crash()
-        report = self.db.recover()
-        self._record(("crash_recover",))
+        report = self.db.recover(in_doubt_commits=commits)
+        self._record(("crash_recover", commits))
         return {"redone": report.redone, "undone": report.undone,
                 "restamped": report.restamped}
 
@@ -490,8 +575,12 @@ def replay_history(db: Any, history: List[HistoryEntry]) -> None:
             db.commit(txns.pop(entry[1]))
         elif op == "abort":
             db.abort(txns.pop(entry[1]))
+        elif op == "prepare":
+            db.prepare(txns[entry[1]], entry[2])
         elif op in ("insert", "update"):
             getattr(db, op)(txns[entry[1]], entry[2], entry[3])
+        elif op == "insert_many":
+            db.insert_many(txns[entry[1]], entry[2], entry[3])
         elif op == "delete":
             db.delete(txns[entry[1]], entry[2], entry[3])
         elif op == "get":
@@ -510,9 +599,22 @@ def replay_history(db: Any, history: List[HistoryEntry]) -> None:
                                    for fname, ftype in fields],
                             key_fields=key_fields)
             db.create_relation(schema, use_tsb=use_tsb)
+        elif op == "checkpoint":
+            db.checkpoint()
+        elif op == "maintenance":
+            db.maintenance(force=entry[1])
+        elif op == "audit":
+            from ..core.audit import Auditor
+            from ..core.parallel_audit import ParallelAuditor
+            _, rotate, workers = entry
+            auditor = ParallelAuditor(db, workers=workers) if workers \
+                else Auditor(db)
+            auditor.audit(rotate=rotate)
         elif op == "crash_recover":
             txns.clear()
             db.crash()
-            db.recover()
+            # pre-2PC journals recorded a bare ("crash_recover",) entry
+            commits = entry[1] if len(entry) > 1 else None
+            db.recover(in_doubt_commits=commits)
         else:
             raise ServerError(f"unknown journal entry {op!r}")

@@ -1,0 +1,38 @@
+"""Sharded compliant database: routing, 2PC coordination, merged audit.
+
+The shard layer composes N complete compliant databases — in-process
+:class:`~repro.core.database.CompliantDB` instances or remote
+:class:`~repro.server.client.ServerClient` connections, interchangeably
+via the :class:`~repro.api.ComplianceBackend` protocol — into one
+horizontally partitioned database:
+
+* :mod:`~repro.shard.router` — deterministic key→shard placement
+  (uniform hash, or TPC-C's natural by-warehouse partitioning);
+* :mod:`~repro.shard.journal` — the coordinator's fsync'd
+  presumed-abort commit-decision journal;
+* :mod:`~repro.shard.coordinator` — :class:`ShardedDB`: 1PC fast path
+  for single-shard transactions, two-phase commit for cross-shard ones,
+  deterministic in-doubt resolution on recovery;
+* :mod:`~repro.shard.dist_audit` — :class:`DistributedAuditor`:
+  per-shard audits folded by ADD-HASH union into one signed cross-shard
+  attestation.
+"""
+
+from .dist_audit import DistributedAuditor, DistributedAuditReport
+from .coordinator import DistributedTxn, ShardedDB
+from .journal import DecisionJournal
+from .router import (ROUTERS, HashRouter, ShardRouter, WarehouseRouter,
+                     make_router)
+
+__all__ = [
+    "DecisionJournal",
+    "DistributedAuditReport",
+    "DistributedAuditor",
+    "DistributedTxn",
+    "HashRouter",
+    "ROUTERS",
+    "ShardRouter",
+    "ShardedDB",
+    "WarehouseRouter",
+    "make_router",
+]

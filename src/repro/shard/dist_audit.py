@@ -1,0 +1,179 @@
+"""Cross-shard compliance auditing with one combined attestation.
+
+Each shard is a complete compliant database — its own WORM box,
+compliance log, snapshots, and epoch counter — so each shard is audited
+independently (reusing the serial or partitioned auditor, or the
+server-side audit op for remote shards).  The cross-shard step is pure
+ADD-HASH algebra: the multiset hash is commutative and mergeable, so
+
+    combined = shard_0.digest ∪ shard_1.digest ∪ … ∪ shard_{N-1}.digest
+
+is the ADD-HASH of the union of all shards' tuple multisets, computed
+without rehashing a single tuple (``AddHash.from_digest`` resumes each
+shard's fold, :meth:`~repro.crypto.hashes.AddHash.union` merges them).
+The auditor then signs a canonical serialization of the per-shard
+verdicts plus the combined digests, producing one attestation that
+covers the entire sharded database: any shard's tampering flips its own
+``Df = Ds ∪ L`` check, which flips the combined verdict and names the
+offending shard in :meth:`DistributedAuditReport.tampered_shards`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.audit import AuditReport, Auditor
+from ..crypto.hashes import AddHash
+from ..crypto.signatures import AuditorKey
+
+
+@dataclass
+class DistributedAuditReport:
+    """Per-shard audit reports folded into one signed attestation."""
+
+    ok: bool
+    shard_reports: List[AuditReport]
+    #: ADD-HASH union of every shard's two sides of ``Df = Ds ∪ L``
+    combined_expected_digest: str
+    combined_final_digest: str
+    final_tuples: int
+    #: canonical JSON the attestation signs
+    message: bytes
+    attestation: bytes
+    signer: str
+    shard_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def shards(self) -> int:
+        return len(self.shard_reports)
+
+    @property
+    def epochs(self) -> List[int]:
+        """Audited epoch of each shard, in shard order."""
+        return [report.epoch for report in self.shard_reports]
+
+    def tampered_shards(self) -> List[int]:
+        """Indices of shards whose own audit found violations."""
+        return [idx for idx, report in enumerate(self.shard_reports)
+                if not report.ok]
+
+    def verify(self, key: AuditorKey) -> bool:
+        """Check the attestation signature over the canonical message."""
+        return key.verify(self.message, self.attestation)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable result."""
+        status = "COMPLIANT" if self.ok else (
+            "TAMPERING DETECTED (shards "
+            f"{self.tampered_shards()})")
+        lines = [f"Distributed audit over {self.shards} shard(s): "
+                 f"{status}",
+                 f"  combined final tuples: {self.final_tuples}, "
+                 f"combined digest: "
+                 f"{self.combined_final_digest[:16]}…"]
+        for idx, report in enumerate(self.shard_reports):
+            verdict = "ok" if report.ok else \
+                f"{len(report.findings)} finding(s)"
+            lines.append(
+                f"  shard {idx}: epoch {report.epoch}, "
+                f"{report.final_tuples} tuples, {verdict}")
+        return "\n".join(lines)
+
+
+def _canonical_message(shard_reports: List[AuditReport],
+                       combined_expected: str, combined_final: str,
+                       ok: bool) -> bytes:
+    """Deterministic bytes the attestation signs: per-shard verdicts,
+    digests, and epochs, plus the combined digests and overall verdict.
+    Canonical JSON (sorted keys, no whitespace variance) so any party
+    holding the per-shard reports can re-derive and verify it."""
+    payload = {
+        "v": 1,
+        "ok": ok,
+        "combined_expected": combined_expected,
+        "combined_final": combined_final,
+        "shards": [
+            {
+                "epoch": report.epoch,
+                "ok": report.ok,
+                "expected_digest": report.expected_digest,
+                "final_digest": report.final_digest,
+                "final_tuples": report.final_tuples,
+                "findings": len(report.findings),
+            }
+            for report in shard_reports
+        ],
+    }
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+class DistributedAuditor:
+    """Audit every shard, then fold digests into one attestation.
+
+    ``source`` is a :class:`~repro.shard.coordinator.ShardedDB` or a
+    plain backend list.  In-process shards are audited with the serial
+    :class:`~repro.core.audit.Auditor` (or the partitioned
+    :class:`~repro.core.parallel_audit.ParallelAuditor` when ``workers``
+    is set); remote shards run their server-side audit op and ship the
+    report back — digests round-trip exactly, so the fold is identical
+    either way.
+    """
+
+    def __init__(self, source: Any,
+                 key: Optional[AuditorKey] = None, *,
+                 workers: Optional[int] = None):
+        backends = getattr(source, "backends", source)
+        self.backends: List[Any] = list(backends)
+        if key is None:
+            key = getattr(source, "auditor_key", None) \
+                or AuditorKey.generate()
+        self.key = key
+        self.workers = workers
+
+    def _audit_shard(self, backend: Any, rotate: bool) -> AuditReport:
+        if hasattr(backend, "engine"):  # in-process CompliantDB
+            if self.workers is not None:
+                from ..core.parallel_audit import ParallelAuditor
+                auditor: Auditor = ParallelAuditor(
+                    backend, self.key, workers=self.workers)
+            else:
+                auditor = Auditor(backend, self.key)
+            return auditor.audit(rotate=rotate)
+        return backend.audit(rotate=rotate, workers=self.workers)
+
+    def audit(self, rotate: bool = True) -> DistributedAuditReport:
+        """Audit each shard in turn; fold and sign the combined report."""
+        reports: List[AuditReport] = []
+        seconds: List[float] = []
+        for backend in self.backends:
+            started = time.monotonic()
+            reports.append(self._audit_shard(backend, rotate))
+            seconds.append(time.monotonic() - started)
+        expected = AddHash()
+        final = AddHash()
+        for report in reports:
+            if report.expected_digest:
+                expected = expected.union(AddHash.from_digest(
+                    bytes.fromhex(report.expected_digest)))
+            if report.final_digest:
+                final = final.union(AddHash.from_digest(
+                    bytes.fromhex(report.final_digest),
+                    report.final_tuples))
+        ok = all(report.ok for report in reports)
+        message = _canonical_message(reports, expected.hexdigest(),
+                                     final.hexdigest(), ok)
+        return DistributedAuditReport(
+            ok=ok,
+            shard_reports=reports,
+            combined_expected_digest=expected.hexdigest(),
+            combined_final_digest=final.hexdigest(),
+            final_tuples=final.count,
+            message=message,
+            attestation=self.key.sign(message),
+            signer=self.key.name,
+            shard_seconds=seconds,
+        )

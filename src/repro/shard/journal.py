@@ -1,0 +1,76 @@
+"""The 2PC coordinator's decision journal (presumed abort).
+
+The journal is the coordinator's only durable state: an append-only
+JSON-lines file recording **commit decisions only**.  Under presumed
+abort, a prepared transaction whose gid is absent from the journal
+aborts during recovery — so abort decisions need no I/O at all, and the
+single fsync per cross-shard commit (after every participant prepared,
+before any participant commits) is the entire durability cost of 2PC
+coordination.
+
+Each time the journal is opened it also appends an ``incarnation`` line.
+Gids embed the incarnation number, which makes them globally unique
+across coordinator restarts without coordination: incarnation ``k``'s
+gids can never collide with incarnation ``k+1``'s, so a recovered
+coordinator may immediately start new transactions while old in-doubt
+ones are still being resolved.
+
+A torn final line (the crash happened mid-append) is tolerated and
+ignored: a torn commit decision means no participant was told to commit
+yet, so presumed abort gives the correct outcome.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import FrozenSet, Set
+
+
+class DecisionJournal:
+    """Append-only, fsync'd commit-decision log for the coordinator."""
+
+    def __init__(self, path: os.PathLike):
+        self.path = Path(path)
+        self._committed: Set[str] = set()
+        incarnation = 0
+        if self.path.exists():
+            for line in self.path.read_bytes().splitlines():
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    # torn tail from a crash mid-append: presumed abort
+                    continue
+                if "incarnation" in entry:
+                    incarnation = max(incarnation,
+                                      int(entry["incarnation"]))
+                elif entry.get("decision") == "commit":
+                    self._committed.add(str(entry["gid"]))
+        self.incarnation = incarnation + 1
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+        self._append({"incarnation": self.incarnation})
+
+    def _append(self, entry: dict) -> None:
+        self._file.write(json.dumps(entry, sort_keys=True)
+                         .encode("utf-8") + b"\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def log_commit(self, gid: str) -> None:
+        """Durably record the COMMIT decision for ``gid``.
+
+        Once this returns, the global transaction is committed no matter
+        which processes die next: recovery finds the gid here and rolls
+        every prepared participant forward.
+        """
+        self._append({"decision": "commit", "gid": gid})
+        self._committed.add(gid)
+
+    def committed_gids(self) -> FrozenSet[str]:
+        """All gids ever decided COMMIT (the in-doubt resolver's set)."""
+        return frozenset(self._committed)
+
+    def close(self) -> None:
+        self._file.close()

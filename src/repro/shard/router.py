@@ -1,0 +1,124 @@
+"""Key-to-shard routing policies.
+
+A :class:`ShardRouter` maps a (relation, primary-key) pair to one of N
+shards.  The contract the coordinator relies on:
+
+* routing is **deterministic** — the same key always lands on the same
+  shard, across processes and restarts (routers carry no mutable state);
+* routing depends only on the relation name and the key tuple, never on
+  the row payload, so gets/deletes route identically to inserts;
+* :meth:`ShardRouter.shards_for_scan` names every shard that may hold
+  rows of a relation, so fan-out scans can skip shards a policy pins a
+  relation away from.
+
+Two policies ship: :class:`HashRouter` (uniform hash partitioning over
+the order-preserving key encoding — the generic default) and
+:class:`WarehouseRouter` (TPC-C's natural partitioning: the leading key
+field is the warehouse id, so an entire warehouse's rows co-locate and
+almost every transaction touches exactly one shard).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+from ..common.codec import encode_key
+from ..common.errors import ConfigError
+from ..crypto.hashes import h
+
+
+class ShardRouter:
+    """Base class: deterministic key partitioning across ``shards``."""
+
+    #: registry name (subclasses override; persisted in shard-meta.json)
+    name = "base"
+
+    def __init__(self, shards: int):
+        if shards < 1:
+            raise ConfigError(f"shard count must be >= 1, got {shards}")
+        self.shards = shards
+
+    def shard_of(self, relation: str, key: Tuple) -> int:
+        """The shard index owning ``key`` of ``relation``."""
+        raise NotImplementedError
+
+    def shards_for_scan(self, relation: str) -> List[int]:
+        """Every shard that may hold rows of ``relation`` (in index
+        order).  The default assumes keys spread over all shards."""
+        return list(range(self.shards))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(shards={self.shards})"
+
+
+class HashRouter(ShardRouter):
+    """Uniform hash partitioning: ``h(relation || 0x00 || enc(key))``.
+
+    Hashing the order-preserving key encoding (not ``repr``) makes the
+    placement independent of Python value identities, and salting with
+    the relation name decorrelates relations that share key values.
+    """
+
+    name = "hash"
+
+    def shard_of(self, relation: str, key: Tuple) -> int:
+        digest = h(relation.encode("utf-8") + b"\0" + encode_key(key))
+        return int.from_bytes(digest[:8], "big") % self.shards
+
+
+class WarehouseRouter(ShardRouter):
+    """TPC-C partitioning: shard by the leading warehouse-id key field.
+
+    Every TPC-C relation is keyed warehouse-first except ``item``
+    (read-only catalog, key ``i_id``) — pinned wholesale to one shard —
+    so a New-Order against a single warehouse is a single-shard
+    transaction unless it draws a remote warehouse's stock (the
+    paper-faithful ~1% cross-shard rate).
+    """
+
+    name = "warehouse"
+
+    #: relations whose keys carry no warehouse id → pin to one shard
+    DEFAULT_PINS = {"item": 0}
+
+    def __init__(self, shards: int,
+                 pins: Dict[str, int] = None):  # type: ignore[assignment]
+        super().__init__(shards)
+        source = self.DEFAULT_PINS if pins is None else pins
+        self.pins = {rel: pin % shards for rel, pin in source.items()}
+
+    def shard_of(self, relation: str, key: Tuple) -> int:
+        pin = self.pins.get(relation)
+        if pin is not None:
+            return pin
+        warehouse = key[0]
+        if not isinstance(warehouse, int):
+            raise ConfigError(
+                f"{relation}: warehouse routing needs an integer "
+                f"leading key field, got {type(warehouse).__name__}")
+        # warehouse ids are 1-based; round-robin whole warehouses
+        return (warehouse - 1) % self.shards
+
+    def shards_for_scan(self, relation: str) -> List[int]:
+        pin = self.pins.get(relation)
+        if pin is not None:
+            return [pin]
+        return list(range(self.shards))
+
+
+#: registry used by shard-meta.json round-trips and the admin CLI
+ROUTERS: Dict[str, Type[ShardRouter]] = {
+    HashRouter.name: HashRouter,
+    WarehouseRouter.name: WarehouseRouter,
+}
+
+
+def make_router(name: str, shards: int) -> ShardRouter:
+    """Instantiate a registered router by name."""
+    try:
+        cls = ROUTERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown shard router {name!r}; "
+            f"known: {sorted(ROUTERS)}") from None
+    return cls(shards)

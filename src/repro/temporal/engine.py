@@ -42,9 +42,9 @@ from ..common.codec import Schema, decode_key, encode_key
 from ..common.config import EngineConfig
 from ..crypto.pool import DigestPool
 from ..common.errors import (ConfigError, DuplicateKeyError,
-                             KeyNotFoundError, RelationNotFoundError,
-                             TransactionAborted, TransactionError,
-                             TransactionStateError)
+                             KeyNotFoundError, RecoveryError,
+                             RelationNotFoundError, TransactionAborted,
+                             TransactionError, TransactionStateError)
 from ..obs import Observability
 from ..storage.buffer import BufferCache
 from ..storage.page import FREE, LEAF
@@ -257,6 +257,10 @@ class Engine:
     def begin(self) -> Transaction:
         """Start a transaction."""
         return self.txns.begin()
+
+    def prepare(self, txn: Transaction, gid: str) -> None:
+        """2PC phase one: durably prepare under the coordinator's gid."""
+        self.txns.prepare(txn, gid)
 
     def commit(self, txn: Transaction) -> int:
         """Commit; returns the commit time."""
@@ -748,7 +752,8 @@ class Engine:
         self.txns.crash_reset()
         self._pending_stamps.clear()
 
-    def recover(self, on_outcomes: Optional[Callable] = None
+    def recover(self, on_outcomes: Optional[Callable] = None,
+                resolve_in_doubt: Optional[Callable[[str], bool]] = None
                 ) -> RecoveryReport:
         """Crash recovery: redo committed work, undo losers, re-stamp.
 
@@ -758,14 +763,54 @@ class Engine:
         the corresponding ABORT and STAMP_TRANS records … the remainder of
         recovery proceeds as usual".
 
+        ``resolve_in_doubt`` maps a 2PC coordinator gid to the commit
+        decision (True = commit).  It is consulted for every prepared
+        transaction with no durable outcome *before* outcomes are
+        reported, so the compliance log sees the resolved truth.  When
+        the WAL contains in-doubt transactions and no resolver is given,
+        recovery refuses to guess — resolving them without the
+        coordinator's journal could contradict a commit already applied
+        on a sibling shard.
+
         Idempotent — running it on a cleanly shut-down database is a no-op.
         """
         with self.obs.tracer.span("engine.recover"):
-            return self._recover(on_outcomes)
+            return self._recover(on_outcomes, resolve_in_doubt)
 
-    def _recover(self, on_outcomes: Optional[Callable] = None
+    def _resolve_in_doubt(self, plan,
+                          resolve_in_doubt: Optional[Callable[[str], bool]]
+                          ) -> None:
+        in_doubt = plan.in_doubt
+        if not in_doubt:
+            return
+        if resolve_in_doubt is None:
+            raise RecoveryError(
+                f"{len(in_doubt)} prepared transaction(s) in doubt "
+                f"(gids {sorted(in_doubt.values())}); recovery needs the "
+                "2PC coordinator's decisions — recover through the shard "
+                "coordinator or pass resolve_in_doubt")
+        for txn_id in sorted(in_doubt):
+            gid = in_doubt[txn_id]
+            if resolve_in_doubt(gid):
+                commit_time = self.clock.tick()
+                self.wal.append(WalRecord(WalRecordType.COMMIT,
+                                          txn_id=txn_id,
+                                          commit_time=commit_time))
+                plan.committed[txn_id] = commit_time
+            else:
+                self.wal.append(WalRecord(WalRecordType.ABORT,
+                                          txn_id=txn_id))
+                plan.aborted.add(txn_id)
+        self.wal.flush()
+
+    def _recover(self, on_outcomes: Optional[Callable] = None,
+                 resolve_in_doubt: Optional[Callable[[str], bool]] = None
                  ) -> RecoveryReport:
         plan = analyse(self.wal.iter_records())
+        # resolve 2PC in-doubt transactions first: the report, the
+        # compliance plugin, and the redo/undo pass must all see the
+        # coordinator's decision, not the undecided state
+        self._resolve_in_doubt(plan, resolve_in_doubt)
         report = RecoveryReport(committed=dict(plan.committed),
                                 aborted=set(plan.aborted),
                                 losers=set(plan.losers))

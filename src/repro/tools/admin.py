@@ -16,6 +16,9 @@ Usage::
     python -m repro.tools.admin serve     <db-path> [--host H] [--port P]
                                           [--max-queue-depth N]
                                           [--allow-crash-ops]
+                                          [--shard N]
+    python -m repro.tools.admin shard-audit <base-path> [--no-rotate]
+                                          [--workers N]
 
 The tool opens the database read-mostly (audit/vacuum mutate WORM/epoch
 state exactly as their API counterparts do), runs recovery if the previous
@@ -31,6 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Any, List, Tuple
 
 from ..common.clock import SimulatedClock
@@ -168,16 +172,36 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shard_audit(args: argparse.Namespace) -> int:
+    from ..shard import DistributedAuditor, ShardedDB
+    sharded = ShardedDB.open(
+        args.path, auditor_key=AuditorKey.generate(args.auditor))
+    auditor = DistributedAuditor(sharded, workers=args.workers)
+    report = auditor.audit(rotate=not args.no_rotate)
+    print(report.summary())
+    verified = report.verify(sharded.auditor_key)
+    print(f"  attestation by {report.signer!r}: "
+          f"{'VALID' if verified else 'INVALID'}")
+    sharded.close()
+    return 0 if report.ok and verified else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from ..server import ComplianceServer, ServerConfig
-    db = _open(args.path, args.auditor)
+    path = args.path
+    if args.shard is not None:
+        # serve one shard of a sharded database created by
+        # ShardedDB.create: <base>/shard-NNN
+        from ..shard.coordinator import SHARD_DIR
+        path = str(Path(args.path) / SHARD_DIR.format(args.shard))
+    db = _open(path, args.auditor)
     config = ServerConfig(host=args.host, port=args.port,
                           max_queue_depth=args.max_queue_depth,
                           allow_crash_ops=args.allow_crash_ops)
     server = ComplianceServer(db, config).start()
     try:
         host, port = server.address
-        print(f"serving {args.path} ({db.mode.value}) on {host}:{port}",
+        print(f"serving {path} ({db.mode.value}) on {host}:{port}",
               flush=True)
         print("press Ctrl-C to drain and stop", flush=True)
         import time as _time
@@ -208,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("holds", cmd_holds, None),
         ("metrics", cmd_metrics, "metrics"),
         ("serve", cmd_serve, "serve"),
+        ("shard-audit", cmd_shard_audit, "shard-audit"),
     ]:
         cmd = sub.add_parser(name)
         cmd.add_argument("path", help="database directory")
@@ -251,6 +276,16 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--allow-crash-ops", action="store_true",
                              help="expose the crash_recover op "
                                   "(test/bench harnesses)")
+            cmd.add_argument("--shard", type=int, default=None,
+                             help="serve shard N of a sharded database "
+                                  "(path is the sharded base directory)")
+        elif extra == "shard-audit":
+            cmd.add_argument("--no-rotate", action="store_true",
+                             help="dry run: do not advance any shard's "
+                                  "epoch")
+            cmd.add_argument("--workers", type=int, default=None,
+                             help="partition each shard's audit across "
+                                  "N worker processes")
     return parser
 
 

@@ -50,8 +50,9 @@ class TPCCLoader:
         self._load_items()
         for w_id in range(1, self.scale.warehouses + 1):
             self._load_warehouse(w_id)
-        self._db.engine.run_stamper()
-        self._db.engine.checkpoint()
+        # backend-protocol spelling: works against in-process, remote,
+        # and sharded backends alike (no engine access)
+        self._db.checkpoint()
 
     def _batched(self, rows) -> None:
         batch = []

@@ -48,6 +48,9 @@ class TxnState(enum.Enum):
     """Lifecycle states of a transaction."""
 
     ACTIVE = "active"
+    #: two-phase commit: durably able to commit, locks held, no further
+    #: writes allowed — awaiting the coordinator's decision
+    PREPARED = "prepared"
     COMMITTED = "committed"
     ABORTED = "aborted"
 
@@ -70,10 +73,23 @@ class Transaction:
     state: TxnState = TxnState.ACTIVE
     commit_time: Optional[int] = None
     writes: List[WriteOp] = field(default_factory=list)
+    #: the 2PC coordinator's global transaction id, once prepared
+    gid: Optional[str] = None
 
     def require_active(self) -> None:
-        """Raise unless the transaction can still perform work."""
+        """Raise unless the transaction can still perform work.
+
+        A PREPARED transaction fails this check too: it promised the
+        coordinator a fixed write set, so no further writes may slip in
+        between prepare and the commit decision.
+        """
         if self.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"txn {self.txn_id} is {self.state.value}")
+
+    def require_finishable(self) -> None:
+        """Raise unless commit/abort may still resolve the transaction."""
+        if self.state not in (TxnState.ACTIVE, TxnState.PREPARED):
             raise TransactionStateError(
                 f"txn {self.txn_id} is {self.state.value}")
 
@@ -97,6 +113,9 @@ class TransactionManager:
             "txn_begin_total", help="transactions started")
         self._c_commits = registry.counter(
             "txn_commit_total", help="transactions durably committed")
+        self._c_prepares = registry.counter(
+            "txn_prepare_total",
+            help="transactions durably prepared (2PC phase one)")
         self._c_aborts = registry.counter(
             "txn_abort_total", help="transactions rolled back")
         self._g_active = registry.gauge(
@@ -146,14 +165,39 @@ class TransactionManager:
         self._g_active.set(len(self._active))
         return txn
 
+    def prepare(self, txn: Transaction, gid: str) -> None:
+        """2PC phase one: durably promise the coordinator we can commit.
+
+        Appends a PREPARE record carrying the coordinator's global
+        transaction id and flushes the WAL.  The transaction keeps its
+        locks and stays in the active table (so quiesce/audit wait for
+        the decision), but no further writes are admitted — the write
+        set the coordinator saw is the write set that commits.  Crash
+        recovery classifies a prepared transaction with no outcome as
+        *in doubt* and resolves it from the coordinator's decision
+        journal (presumed abort when no decision was journaled).
+        """
+        txn.require_active()
+        self._check_halted()
+        with self.obs.tracer.span("txn.prepare", txn=txn.txn_id):
+            self._wal.append(WalRecord(WalRecordType.PREPARE,
+                                       txn_id=txn.txn_id, hist_ref=gid))
+            self._wal.flush()
+            txn.state = TxnState.PREPARED
+            txn.gid = gid
+        self._c_prepares.inc()
+
     def commit(self, txn: Transaction) -> int:
         """Durably commit; returns the commit time.
+
+        Accepts ACTIVE and PREPARED transactions — a prepared one is a
+        2PC participant receiving the coordinator's commit decision.
 
         Raises :class:`ComplianceHaltError` (and poisons the manager)
         if an ``on_commit`` listener fails *after* the commit became
         durable — see the module docstring for the failure semantics.
         """
-        txn.require_active()
+        txn.require_finishable()
         self._check_halted()
         with self.obs.tracer.span("txn.commit", txn=txn.txn_id):
             commit_time = self._clock.tick()
@@ -184,9 +228,10 @@ class TransactionManager:
         ``on_abort`` listener failures poison the manager exactly like
         ``on_commit`` ones: the rollback is already durable in the WAL,
         so a failed ABORT record on the compliance log is the same
-        silent-divergence hazard.
+        silent-divergence hazard.  Accepts PREPARED transactions — a
+        2PC participant receiving the coordinator's abort decision.
         """
-        txn.require_active()
+        txn.require_finishable()
         self._check_halted()
         with self.obs.tracer.span("txn.abort", txn=txn.txn_id):
             if self.undo_callback is not None:

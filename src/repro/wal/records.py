@@ -31,6 +31,10 @@ class WalRecordType(enum.IntEnum):
     CHECKPOINT = 6
     #: a time-split migrated a leaf's historical versions to WORM
     TIME_SPLIT = 7
+    #: two-phase commit: the transaction is prepared — durably able to
+    #: commit, holding its locks, awaiting the coordinator's decision.
+    #: ``hist_ref`` carries the coordinator's global transaction id.
+    PREPARE = 8
 
 
 _BODY = struct.Struct("<QBqqHqiqHIH")
@@ -57,7 +61,8 @@ class WalRecord:
     start: int = 0
     #: TIME_SPLIT: the live leaf that was split
     pgno: int = -1
-    #: TIME_SPLIT: WORM file name of the historical page
+    #: TIME_SPLIT: WORM file name of the historical page;
+    #: PREPARE: the coordinator's global transaction id
     hist_ref: str = ""
     #: TIME_SPLIT: the split time t
     split_time: int = 0

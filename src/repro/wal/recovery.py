@@ -32,8 +32,23 @@ class RecoveryPlan:
     #: transactions with a BEGIN (or any op) but no durable outcome;
     #: recovery rolls these back
     losers: Set[int] = field(default_factory=set)
+    #: txn id -> coordinator gid for transactions with a durable PREPARE
+    #: (whatever their eventual outcome)
+    prepared: Dict[int, str] = field(default_factory=dict)
     #: all durable records, in LSN order, for the application pass
     records: List[WalRecord] = field(default_factory=list)
+
+    @property
+    def in_doubt(self) -> Dict[int, str]:
+        """txn id -> gid for prepared transactions with no outcome.
+
+        These are *not* losers: a prepared transaction promised the 2PC
+        coordinator it can commit, so only the coordinator's journaled
+        decision (presumed abort when absent) may resolve it.
+        """
+        return {txn_id: gid for txn_id, gid in self.prepared.items()
+                if txn_id not in self.committed
+                and txn_id not in self.aborted}
 
     def outcome_of(self, txn_id: int) -> str:
         """'committed' | 'aborted' | 'loser' for a transaction id."""
@@ -66,6 +81,8 @@ def analyse(records: Iterable[WalRecord]) -> RecoveryPlan:
             plan.committed[record.txn_id] = record.commit_time
         elif record.rtype == WalRecordType.ABORT:
             plan.aborted.add(record.txn_id)
+        elif record.rtype == WalRecordType.PREPARE:
+            plan.prepared[record.txn_id] = record.hist_ref
         elif record.rtype not in (WalRecordType.BEGIN,
                                   WalRecordType.INSERT):
             # BEGIN/INSERT only mark participation; anything else here
@@ -73,5 +90,6 @@ def analyse(records: Iterable[WalRecord]) -> RecoveryPlan:
             raise WalError(
                 f"recovery has no analysis arm for WAL record type "
                 f"{record.rtype!r}")
-    plan.losers = seen - set(plan.committed) - plan.aborted
+    plan.losers = (seen - set(plan.committed) - plan.aborted
+                   - set(plan.in_doubt))
     return plan

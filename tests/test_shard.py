@@ -1,0 +1,358 @@
+"""Tests for the sharded coordinator (``repro.shard``).
+
+The load-bearing properties:
+
+* routing is deterministic and TPC-C partitions by warehouse;
+* a 2-warehouse TPC-C run across 2 shards produces exactly the same
+  logical table contents as the same run against one database, and the
+  merged :class:`DistributedAuditor` attestation verifies clean;
+* tampering with any one shard — its pages or its WORM box — flips the
+  combined verdict to tampered *and names the offending shard*;
+* the same coordinator suite passes with in-process shards and with
+  ``ServerClient`` shards against live ``ComplianceServer`` instances.
+"""
+
+import json
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.codec import Field, FieldType, Schema
+from repro.common.config import ComplianceMode, DBConfig
+from repro.common.errors import ConfigError, ShardError
+from repro.core import Adversary, Auditor, CompliantDB
+from repro.crypto import AuditorKey
+from repro.server import ComplianceServer, ServerClient, ServerConfig
+from repro.shard import (DecisionJournal, DistributedAuditor, HashRouter,
+                         ShardedDB, WarehouseRouter, make_router)
+from repro.tpcc import TPCCLoader, TPCCScale
+from repro.tpcc.driver import TPCCDriver
+from repro.tpcc.schema import ALL_SCHEMAS
+
+T = Schema("t", [Field("a", FieldType.INT), Field("b", FieldType.INT)],
+           key_fields=["a"])
+
+
+def fill(db, lo=1, hi=9):
+    with db.transaction() as txn:
+        for i in range(lo, hi):
+            db.insert(txn, "t", {"a": i, "b": i * 10})
+
+
+class TestRouters:
+    def test_hash_router_is_deterministic(self):
+        one, two = HashRouter(4), HashRouter(4)
+        for key in [(1,), (2, "x"), ("k", 3.5)]:
+            assert one.shard_of("r", key) == two.shard_of("r", key)
+
+    def test_hash_router_salts_by_relation(self):
+        router = HashRouter(16)
+        placements = {router.shard_of(f"rel{i}", (42,))
+                      for i in range(32)}
+        assert len(placements) > 1  # same key, different relations
+
+    def test_warehouse_router_partitions_by_leading_key(self):
+        router = WarehouseRouter(2)
+        assert router.shard_of("stock", (1, 77)) == 0
+        assert router.shard_of("stock", (2, 77)) == 1
+        assert router.shard_of("stock", (3, 77)) == 0  # round-robin
+
+    def test_warehouse_router_pins_item(self):
+        router = WarehouseRouter(4)
+        for i_id in (1, 9999):
+            assert router.shard_of("item", (i_id,)) == 0
+        assert router.shards_for_scan("item") == [0]
+        assert router.shards_for_scan("stock") == [0, 1, 2, 3]
+
+    def test_warehouse_router_rejects_non_integer_warehouse(self):
+        with pytest.raises(ConfigError):
+            WarehouseRouter(2).shard_of("stock", ("oops",))
+
+    def test_registry_round_trip(self):
+        assert isinstance(make_router("hash", 3), HashRouter)
+        assert isinstance(make_router("warehouse", 3), WarehouseRouter)
+        with pytest.raises(ConfigError):
+            make_router("nope", 3)
+
+
+class TestDecisionJournal:
+    def test_commits_survive_reopen(self, tmp_path):
+        journal = DecisionJournal(tmp_path / "j.jsonl")
+        journal.log_commit("g001-000001")
+        journal.close()
+        reopened = DecisionJournal(tmp_path / "j.jsonl")
+        assert "g001-000001" in reopened.committed_gids()
+        reopened.close()
+
+    def test_incarnation_increments_per_open(self, tmp_path):
+        first = DecisionJournal(tmp_path / "j.jsonl")
+        assert first.incarnation == 1
+        first.close()
+        second = DecisionJournal(tmp_path / "j.jsonl")
+        assert second.incarnation == 2
+        second.close()
+
+    def test_torn_tail_is_presumed_abort(self, tmp_path):
+        journal = DecisionJournal(tmp_path / "j.jsonl")
+        journal.log_commit("g001-000001")
+        journal.close()
+        with open(tmp_path / "j.jsonl", "ab") as f:
+            f.write(b'{"decision":"commit","gid":"g001-0')  # torn
+        reopened = DecisionJournal(tmp_path / "j.jsonl")
+        assert reopened.committed_gids() == frozenset({"g001-000001"})
+        reopened.close()
+
+
+class TestCoordinator:
+    def test_single_shard_txn_takes_1pc(self, tmp_path):
+        db = ShardedDB.create(tmp_path / "s", shards=2)
+        db.create_relation(T)
+        with db.transaction() as txn:
+            db.insert(txn, "t", {"a": 1, "b": 10})  # warehouse 1 only
+        assert txn.writes == {0}
+        counters = db.metrics()["coordinator"]["counters"]
+        assert counters["shard_commit_1pc_total"] == 1
+        assert counters["shard_commit_2pc_total"] == 0
+        assert db.journal.committed_gids() == frozenset()  # no journal
+        db.close()
+
+    def test_cross_shard_txn_runs_2pc_and_journals(self, tmp_path):
+        db = ShardedDB.create(tmp_path / "s", shards=2)
+        db.create_relation(T)
+        with db.transaction() as txn:
+            db.insert(txn, "t", {"a": 1, "b": 10})
+            db.insert(txn, "t", {"a": 2, "b": 20})
+        assert txn.writes == {0, 1}
+        assert txn.gid in db.journal.committed_gids()
+        counters = db.metrics()["coordinator"]["counters"]
+        assert counters["shard_commit_2pc_total"] == 1
+        db.close()
+
+    def test_abort_rolls_back_every_shard(self, tmp_path):
+        db = ShardedDB.create(tmp_path / "s", shards=2)
+        db.create_relation(T)
+        with pytest.raises(RuntimeError):
+            with db.transaction() as txn:
+                db.insert(txn, "t", {"a": 1, "b": 10})
+                db.insert(txn, "t", {"a": 2, "b": 20})
+                raise RuntimeError("client bug")
+        assert db.scan("t") == []
+        assert db.journal.committed_gids() == frozenset()
+        db.close()
+
+    def test_scan_merges_in_global_key_order(self, tmp_path):
+        db = ShardedDB.create(tmp_path / "s", shards=3)
+        db.create_relation(T)
+        fill(db, 1, 13)
+        assert [k for k, _ in db.scan("t")] == \
+            [(i,) for i in range(1, 13)]
+        db.close()
+
+    def test_unknown_relation_is_a_shard_error(self, tmp_path):
+        db = ShardedDB.create(tmp_path / "s", shards=2)
+        with pytest.raises(ShardError):
+            db.get("ghost", (1,))
+        db.close()
+
+    def test_reopen_adopts_schemas_from_shard_catalogs(self, tmp_path):
+        db = ShardedDB.create(tmp_path / "s", shards=2)
+        db.create_relation(T)
+        fill(db)
+        db.close()
+        reopened = ShardedDB.open(tmp_path / "s")
+        assert reopened.get("t", (3,))["b"] == 30
+        fill(reopened, 20, 22)  # routing works without create_relation
+        assert len(reopened.scan("t")) == 10
+        reopened.close()
+
+    def test_meta_file_records_layout(self, tmp_path):
+        db = ShardedDB.create(tmp_path / "s", shards=2, router="hash")
+        meta = json.loads((tmp_path / "s" / "shard-meta.json")
+                          .read_text())
+        assert meta == {"shards": 2, "router": "hash"}
+        db.close()
+        assert isinstance(ShardedDB.open(tmp_path / "s").router,
+                          HashRouter)
+
+
+class TestTPCCAcrossShards:
+    """The acceptance scenario: 2-warehouse TPC-C over 2 shards equals
+    the same run against a single database, and the merged attestation
+    verifies clean."""
+
+    SCALE = TPCCScale(warehouses=2, districts_per_warehouse=2,
+                      customers_per_district=6, items=20,
+                      initial_orders_per_district=3, pad=4)
+    TXNS = 25
+
+    def run_workload(self, db):
+        TPCCLoader(db, self.SCALE, seed=11).load()
+        result = TPCCDriver(db, self.SCALE, seed=13).run(self.TXNS)
+        db.checkpoint()
+        return result
+
+    def test_sharded_run_matches_single_db_baseline(self, tmp_path):
+        sharded = ShardedDB.create(tmp_path / "s", shards=2)
+        sharded_result = self.run_workload(sharded)
+
+        single = CompliantDB.create(
+            tmp_path / "one",
+            DBConfig.for_mode(ComplianceMode.LOG_CONSISTENT),
+            clock=SimulatedClock(), auditor_key=AuditorKey.generate())
+        single_result = self.run_workload(single)
+
+        # same committed/rolled-back split (the workload is
+        # deterministic; only the physical placement differs)
+        assert sharded_result.committed == single_result.committed
+        assert sharded_result.rolled_back == single_result.rolled_back
+
+        # every relation holds exactly the same keys
+        for schema in ALL_SCHEMAS:
+            sharded_keys = [k for k, _ in sharded.scan(schema.name)]
+            single_keys = [k for k, _ in single.scan(schema.name)]
+            assert sharded_keys == single_keys, schema.name
+
+        # warehouse partitioning actually split the data
+        per_shard = [len(backend.scan("stock"))
+                     for backend in sharded.backends]
+        assert all(count > 0 for count in per_shard)
+
+        # merged audit: clean, attestation valid, per-shard digests fold
+        report = DistributedAuditor(sharded).audit()
+        assert report.ok
+        assert report.tampered_shards() == []
+        assert report.verify(sharded.auditor_key)
+        assert not report.verify(AuditorKey.generate("mala"))
+
+        # the single-DB audit is clean too (baseline sanity)
+        assert Auditor(single).audit().ok
+        single.close()
+        sharded.close()
+
+
+class TestTamperDetection:
+    def make_sharded(self, tmp_path):
+        db = ShardedDB.create(tmp_path / "s", shards=2)
+        db.create_relation(T)
+        fill(db)
+        db.checkpoint()
+        return db
+
+    def test_page_tamper_names_the_offending_shard(self, tmp_path):
+        db = self.make_sharded(tmp_path)
+        victim = db.router.shard_of("t", (2,))
+        mala = Adversary(db.backends[victim])
+        mala.settle()
+        mala.alter_tuple("t", (2,), {"a": 2, "b": 31337})
+        report = DistributedAuditor(db).audit(rotate=False)
+        assert not report.ok
+        assert report.tampered_shards() == [victim]
+        # the attestation covers the tampered verdict and still verifies
+        assert report.verify(db.auditor_key)
+        db.close()
+
+    def test_worm_tamper_names_the_offending_shard(self, tmp_path):
+        db = self.make_sharded(tmp_path)
+        db.close()
+        # flip one byte of shard 0's snapshot on its WORM box
+        snap = next((tmp_path / "s" / "shard-000" / "worm")
+                    .rglob("snap-*.bin"))
+        data = bytearray(snap.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        snap.write_bytes(bytes(data))
+        reopened = ShardedDB.open(tmp_path / "s")
+        report = DistributedAuditor(reopened).audit(rotate=False)
+        assert not report.ok
+        assert report.tampered_shards() == [0]
+        assert report.verify(reopened.auditor_key)
+        reopened.close()
+
+    def test_combined_digest_is_union_of_shard_digests(self, tmp_path):
+        from repro.crypto import AddHash
+        db = self.make_sharded(tmp_path)
+        report = DistributedAuditor(db).audit(rotate=False)
+        folded = AddHash()
+        for shard_report in report.shard_reports:
+            folded = folded.union(AddHash.from_digest(
+                bytes.fromhex(shard_report.final_digest),
+                shard_report.final_tuples))
+        assert folded.hexdigest() == report.combined_final_digest
+        assert folded.count == report.final_tuples
+        db.close()
+
+
+class TestWireShards:
+    """The same coordinator, with every shard behind a live server."""
+
+    @pytest.fixture
+    def wire_sharded(self, tmp_path):
+        key = AuditorKey.generate()
+        dbs, servers, clients = [], [], []
+        for i in range(2):
+            # each server owns its clock: two writer threads must not
+            # share one (ticks would race); per-shard audits never
+            # compare timestamps across shards
+            db = CompliantDB.create(
+                tmp_path / f"db{i}",
+                DBConfig.for_mode(ComplianceMode.LOG_CONSISTENT),
+                clock=SimulatedClock(), auditor_key=key)
+            server = ComplianceServer(
+                db, ServerConfig(allow_crash_ops=True)).start()
+            dbs.append(db)
+            servers.append(server)
+            clients.append(ServerClient(*server.address))
+        sharded = ShardedDB(clients, HashRouter(2),
+                            journal_path=tmp_path / "journal.jsonl",
+                            auditor_key=key)
+        yield sharded
+        for client in clients:
+            client.close()
+        for server in servers:
+            server.shutdown()
+        for db in dbs:
+            db.close()
+        sharded.journal.close()
+
+    def test_cross_shard_commit_over_the_wire(self, wire_sharded):
+        db = wire_sharded
+        db.create_relation(T)
+        fill(db, 1, 13)
+        assert [k for k, _ in db.scan("t")] == \
+            [(i,) for i in range(1, 13)]
+        assert db.get("t", (7,))["b"] == 70
+        # at least one multi-shard transaction ran full 2PC
+        assert db.journal.committed_gids()
+
+    def test_distributed_audit_over_the_wire(self, wire_sharded):
+        db = wire_sharded
+        db.create_relation(T)
+        fill(db)
+        db.checkpoint()
+        report = DistributedAuditor(db).audit()
+        assert report.ok
+        assert report.shards == 2
+        assert report.verify(db.auditor_key)
+
+    def test_wire_2pc_crash_recovery(self, wire_sharded):
+        db = wire_sharded
+        db.create_relation(T)
+        # prepare a cross-shard txn on both servers, journal the commit
+        # decision, then crash both before phase two reaches them
+        txn = db.begin()
+        db.insert(txn, "t", {"a": 1, "b": 10})
+        db.insert(txn, "t", {"a": 2, "b": 20})
+        for shard in sorted(txn.writes):
+            db.backends[shard].prepare(txn.handles[shard], txn.gid)
+        db.journal.log_commit(txn.gid)
+        db.crash_recover()
+        assert db.get("t", (1,))["b"] == 10
+        assert db.get("t", (2,))["b"] == 20
+        # and an undecided prepared txn presumed-aborts
+        txn = db.begin()
+        db.insert(txn, "t", {"a": 5, "b": 50})
+        db.insert(txn, "t", {"a": 6, "b": 60})
+        for shard in sorted(txn.writes):
+            db.backends[shard].prepare(txn.handles[shard], txn.gid)
+        db.crash_recover()
+        assert db.get("t", (5,)) is None
+        assert db.get("t", (6,)) is None

@@ -1,0 +1,185 @@
+"""2PC crash matrix: every interleaving of coordinator and shard death
+must resolve deterministically from durable state alone.
+
+The invariant under test (presumed abort): a prepared transaction
+commits **iff** its gid reached the coordinator's decision journal.
+Nothing else — not the coordinator's memory, not which shards got the
+phase-two message — may influence the outcome.  And whatever the
+outcome, the merged distributed audit must come back clean: recovery
+itself is auditable.
+"""
+
+import pytest
+
+from repro.common.codec import Field, FieldType, Schema
+from repro.common.errors import (RecoveryError, ShardCommitError,
+                                 TransactionStateError)
+from repro.shard import DistributedAuditor, ShardedDB
+
+T = Schema("t", [Field("a", FieldType.INT), Field("b", FieldType.INT)],
+           key_fields=["a"])
+
+
+def make_sharded(tmp_path):
+    db = ShardedDB.create(tmp_path / "s", shards=2)
+    db.create_relation(T)
+    return db
+
+
+def prepare_cross_shard(db, lo=1):
+    """A transaction prepared on both shards, decision not yet taken."""
+    txn = db.begin()
+    db.insert(txn, "t", {"a": lo, "b": lo})          # shard 0
+    db.insert(txn, "t", {"a": lo + 1, "b": lo + 1})  # shard 1
+    for shard in sorted(txn.writes):
+        db.backends[shard].prepare(txn.handles[shard], txn.gid)
+    return txn
+
+
+def audit_clean(db):
+    report = DistributedAuditor(db).audit()
+    assert report.ok, report.summary()
+    assert report.verify(db.auditor_key)
+
+
+class TestCoordinatorDeath:
+    def test_death_before_decision_presumed_aborts(self, tmp_path):
+        db = make_sharded(tmp_path)
+        prepare_cross_shard(db)
+        # coordinator dies before journaling: simulate by abandoning
+        # the coordinator object and crashing every shard
+        for backend in db.backends:
+            backend.crash()
+        db.journal.close()
+
+        reopened = ShardedDB.open(tmp_path / "s")  # recovers via journal
+        assert reopened.get("t", (1,)) is None
+        assert reopened.get("t", (2,)) is None
+        audit_clean(reopened)
+        reopened.close()
+
+    def test_death_after_decision_commits_everywhere(self, tmp_path):
+        db = make_sharded(tmp_path)
+        txn = prepare_cross_shard(db)
+        db.journal.log_commit(txn.gid)  # the decision is durable
+        for backend in db.backends:
+            backend.crash()
+        db.journal.close()
+
+        reopened = ShardedDB.open(tmp_path / "s")
+        assert reopened.get("t", (1,))["b"] == 1
+        assert reopened.get("t", (2,))["b"] == 2
+        audit_clean(reopened)
+        reopened.close()
+
+    def test_recovered_commit_is_durable_across_another_cycle(
+            self, tmp_path):
+        db = make_sharded(tmp_path)
+        txn = prepare_cross_shard(db)
+        db.journal.log_commit(txn.gid)
+        for backend in db.backends:
+            backend.crash()
+        db.journal.close()
+
+        first = ShardedDB.open(tmp_path / "s")
+        assert first.get("t", (1,)) is not None
+        first.close()
+        second = ShardedDB.open(tmp_path / "s")
+        assert second.get("t", (1,))["b"] == 1
+        audit_clean(second)
+        second.close()
+
+
+class TestShardDeath:
+    def test_shard_crash_between_prepare_and_commit(self, tmp_path):
+        db = make_sharded(tmp_path)
+        txn = prepare_cross_shard(db)
+        db.journal.log_commit(txn.gid)
+        # shard 1 got the decision and committed; shard 0 died first
+        db.backends[1].commit(txn.handles[1])
+        db.backends[0].crash()
+        db.backends[0].recover(
+            in_doubt_commits=db.journal.committed_gids())
+        assert db.get("t", (1,))["b"] == 1  # rolled forward on shard 0
+        assert db.get("t", (2,))["b"] == 2
+        audit_clean(db)
+        db.close()
+
+    def test_in_doubt_without_journal_refuses_to_guess(self, tmp_path):
+        db = make_sharded(tmp_path)
+        prepare_cross_shard(db)
+        db.backends[0].crash()
+        with pytest.raises(RecoveryError):
+            db.backends[0].recover()  # no resolver: must not guess
+
+    def test_phase_two_failure_surfaces_shard_commit_error(
+            self, tmp_path, monkeypatch):
+        db = make_sharded(tmp_path)
+        txn = db.begin()
+        db.insert(txn, "t", {"a": 1, "b": 1})
+        db.insert(txn, "t", {"a": 2, "b": 2})
+        real_commit = db.backends[1].commit
+
+        def dying_commit(handle):
+            raise OSError("shard 1 unreachable")
+
+        monkeypatch.setattr(db.backends[1], "commit", dying_commit)
+        with pytest.raises(ShardCommitError) as exc:
+            db.commit(txn)
+        # the transaction IS committed: the decision was journaled
+        assert exc.value.gid == txn.gid
+        assert list(exc.value.failures) == [1]
+        assert txn.gid in db.journal.committed_gids()
+        assert db.get("t", (1,))["b"] == 1  # shard 0 already applied
+
+        # shard 1 catches up through the coordinator's journal
+        monkeypatch.setattr(db.backends[1], "commit", real_commit)
+        db.backends[1].crash()
+        db.backends[1].recover(
+            in_doubt_commits=db.journal.committed_gids())
+        assert db.get("t", (2,))["b"] == 2
+        audit_clean(db)
+        db.close()
+
+
+class TestPrepareSemantics:
+    def test_prepared_txn_blocks_new_writers_until_resolved(
+            self, tmp_path):
+        db = make_sharded(tmp_path)
+        txn = prepare_cross_shard(db)
+        # the prepared transaction still holds its locks on both shards
+        from repro.common.errors import TransactionError
+        probe = db.backends[0].begin()
+        with pytest.raises(TransactionError):
+            db.backends[0].insert(probe, "t", {"a": 1, "b": 99})
+        try:
+            db.backends[0].abort(probe)
+        except TransactionError:
+            pass  # deadlock handling may have aborted it already
+        # resolving the 2PC txn releases the locks
+        db.journal.log_commit(txn.gid)
+        for shard in sorted(txn.handles):
+            db.backends[shard].commit(txn.handles[shard])
+        with db.transaction() as fresh:
+            db.update(fresh, "t", {"a": 1, "b": 99})
+        assert db.get("t", (1,))["b"] == 99
+        db.close()
+
+    def test_prepared_txn_rejects_further_writes(self, tmp_path):
+        db = make_sharded(tmp_path)
+        txn = prepare_cross_shard(db)
+        with pytest.raises(TransactionStateError):
+            db.backends[0].insert(txn.handles[0], "t",
+                                  {"a": 9, "b": 9})
+        for shard in sorted(txn.handles):  # clean up: abort both
+            db.backends[shard].abort(txn.handles[shard])
+        db.close()
+
+    def test_aborted_prepare_leaves_no_trace(self, tmp_path):
+        db = make_sharded(tmp_path)
+        txn = prepare_cross_shard(db)
+        for shard in sorted(txn.handles):
+            db.backends[shard].abort(txn.handles[shard])
+        assert db.scan("t") == []
+        audit_clean(db)
+        db.close()
