@@ -3,7 +3,7 @@
 
 Executes the three-architecture TPC-C sweep (REGULAR / LOG_CONSISTENT /
 HASH_ON_READ) and writes a JSON report — the ``--out`` file,
-``BENCH_PR6.json`` in the repository root by default — with txn/s and
+``BENCH_PR10.json`` in the repository root by default — with txn/s and
 compliance overhead percentages per mode, per-mode SHA-512 work and
 digest-pool counters, a full ``repro.obs`` metrics snapshot per mode,
 an instrumentation-overhead measurement (enabled vs no-op registry), a
@@ -44,7 +44,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
+import statistics
 import sys
 import tempfile
 import time
@@ -59,8 +61,8 @@ from repro.common.config import ComplianceMode, DBConfig  # noqa: E402
 from repro.common.errors import ServerRequestError  # noqa: E402
 from repro.core import Auditor, CompliantDB, ParallelAuditor  # noqa: E402
 from repro.crypto import AuditorKey  # noqa: E402
-from repro.server import (ComplianceServer, ServerClient,  # noqa: E402
-                          ServerConfig, replay_history)
+from repro.server import (ComplianceServer, PipelinedClient,  # noqa: E402
+                          ServerClient, ServerConfig, replay_history)
 from repro.tpcc import TPCCScale  # noqa: E402
 
 #: Fig 3(a)'s cache ratio: 256 MB of a 2.5 GB database
@@ -453,22 +455,74 @@ def _percentile_ms(sorted_ms: list, q: float):
     return round(sorted_ms[index], 3)
 
 
+def _server_concurrency_worker(host: str, port: int, wid: int,
+                               ops: int, key_space: int,
+                               out_queue) -> None:
+    """One client process of the server-concurrency sweep.
+
+    Module-level so it survives both fork and spawn start methods; it
+    talks to the server purely over the wire, so the only state it
+    shares with the serving process is the TCP connection — client-side
+    GIL contention can no longer cap the measured throughput.
+    """
+    import random
+    rng = random.Random(wid)
+    latencies: list = []
+    errors: list = []
+    done = 0
+    try:
+        with ServerClient(host, port) as client:
+            for i in range(ops):
+                k = rng.randrange(key_space)
+                value = f"w{wid}i{i}"
+                for _attempt in range(50):
+                    started = time.perf_counter()
+                    try:
+                        txn = client.begin()
+                        row = client.get("kv", (k,), txn=txn)
+                        if row is None:
+                            client.insert(txn, "kv",
+                                          {"k": k, "v": value})
+                        else:
+                            client.update(txn, "kv",
+                                          {"k": k, "v": value})
+                        client.commit(txn)
+                    except ServerRequestError as exc:
+                        if exc.retryable:
+                            time.sleep(0.0005)
+                            continue
+                        raise
+                    latencies.append(time.perf_counter() - started)
+                    done += 1
+                    break
+    except Exception as exc:  # noqa: BLE001 - reported in the cell
+        errors.append(f"w{wid}: {exc!r}")
+    out_queue.put((wid, latencies, done, errors))
+
+
 def measure_server_concurrency(root: Path,
                                connections: tuple = SERVER_CONNECTIONS,
                                total_txns: int = 256) -> dict:
     """Multi-client server: throughput + latency vs connection count.
 
     For each (mode, connection count) cell a fresh database is served
-    in-process and N threaded clients split ``total_txns`` read-write
-    transactions over a small key space, retrying on ``CONFLICT`` and
-    ``BUSY``.  Work is held constant across cells so the sweep measures
-    contention and dispatch cost, not workload growth.  Each cell is
-    gated: the history journal the server records is replayed serially
-    into an identically seeded database and both audit reports must be
-    identical (``AuditReport.comparable()``) — the concurrent run's
-    compliance log is only trustworthy if it *is* a serial history.
+    in-process and N client **processes** split ``total_txns``
+    read-write transactions over a small key space, retrying on
+    ``CONFLICT`` and ``BUSY``.  Client processes (threads before PR 10)
+    make the server's single-writer executor the bottleneck being
+    measured — threaded clients shared the server's GIL and shaved the
+    high-connection cells.  Work is held constant across cells so the
+    sweep measures contention and dispatch cost, not workload growth.
+    Each cell is gated: the history journal the server records is
+    replayed serially into an identically seeded database and both
+    audit reports must be identical (``AuditReport.comparable()``) —
+    the concurrent run's compliance log is only trustworthy if it *is*
+    a serial history.
     """
-    import threading
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = multiprocessing.get_context()
 
     schema = Schema("kv", [Field("k", FieldType.INT),
                            Field("v", FieldType.STR)],
@@ -493,59 +547,31 @@ def measure_server_concurrency(root: Path,
                 ("create_relation", "kv",
                  [("k", "int"), ("v", "str")], ["k"], None))
             ops_per_conn = max(1, total_txns // conns)
-            latencies: list = []
-            lat_lock = threading.Lock()
-            committed = [0]
-            errors: list = []
-
-            def worker(wid, server=server, ops=ops_per_conn):
-                import random
-                rng = random.Random(wid)
-                mine: list = []
-                done = 0
-                try:
-                    with ServerClient(*server.address) as client:
-                        for i in range(ops):
-                            k = rng.randrange(SERVER_KEYS)
-                            value = f"w{wid}i{i}"
-                            for _attempt in range(50):
-                                started = time.perf_counter()
-                                try:
-                                    txn = client.begin()
-                                    row = client.get("kv", (k,),
-                                                     txn=txn)
-                                    if row is None:
-                                        client.insert(
-                                            txn, "kv",
-                                            {"k": k, "v": value})
-                                    else:
-                                        client.update(
-                                            txn, "kv",
-                                            {"k": k, "v": value})
-                                    client.commit(txn)
-                                except ServerRequestError as exc:
-                                    if exc.retryable:
-                                        time.sleep(0.0005)
-                                        continue
-                                    raise
-                                mine.append(time.perf_counter() -
-                                            started)
-                                done += 1
-                                break
-                except Exception as exc:  # noqa: BLE001 - reported
-                    errors.append(f"w{wid}: {exc!r}")
-                with lat_lock:
-                    latencies.extend(mine)
-                    committed[0] += done
-
-            threads = [threading.Thread(target=worker, args=(w,))
-                       for w in range(conns)]
+            host, port = server.address
+            out_queue = ctx.Queue()
+            procs = [
+                ctx.Process(target=_server_concurrency_worker,
+                            args=(host, port, w, ops_per_conn,
+                                  SERVER_KEYS, out_queue),
+                            daemon=True)
+                for w in range(conns)]
             wall_start = time.perf_counter()
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
+            for proc in procs:
+                proc.start()
+            latencies: list = []
+            committed_total = 0
+            errors: list = []
+            # drain results before join: a Queue's feeder pipe can
+            # block a child's exit if the parent joins first
+            for _ in procs:
+                _wid, mine, done, worker_errors = out_queue.get()
+                latencies.extend(mine)
+                committed_total += done
+                errors.extend(worker_errors)
+            for proc in procs:
+                proc.join()
             wall = time.perf_counter() - wall_start
+            committed = [committed_total]
             server.shutdown()
             history = server.service.history_snapshot()
 
@@ -593,13 +619,152 @@ def measure_server_concurrency(root: Path,
     }
 
 
+#: simulated per-WAL-flush device latency for the fan-out cell — one
+#: forced write on the paper's 2009-era enterprise disk, same device
+#: model as :data:`AUDIT_IO_DELAY`.  Unlike the pager's calibrated
+#: spin, this must be a real ``time.sleep``: every bench shard lives in
+#: one process, and only a GIL-releasing wait lets N shard writer
+#: threads overlap their "fsyncs" the way N machines' disks would.
+FANOUT_FSYNC_DELAY = 0.003
+
+
+def _charge_wal_fsync(db, delay: float) -> None:
+    """Tax the shard's durable WAL flushes with ``delay`` seconds."""
+    real_flush = db.engine.wal.flush
+
+    def flush():
+        time.sleep(delay)
+        return real_flush()
+
+    db.engine.wal.flush = flush
+
+
+def _fanout_fleet(root: Path, tag: str, shards: int, key,
+                  fanout_workers):
+    """N wire shards (own server + clock each) behind one coordinator."""
+    from repro.shard import ShardedDB, WarehouseRouter
+
+    dbs, servers, clients = [], [], []
+    for i in range(shards):
+        db = CompliantDB.create(
+            root / f"{tag}-s{i}",
+            DBConfig.for_mode(ComplianceMode.LOG_CONSISTENT),
+            clock=SimulatedClock(), auditor_key=key)
+        _charge_wal_fsync(db, FANOUT_FSYNC_DELAY)
+        server = ComplianceServer(db, ServerConfig()).start()
+        dbs.append(db)
+        servers.append(server)
+        clients.append(PipelinedClient(*server.address))
+    sharded = ShardedDB(clients, WarehouseRouter(shards),
+                        journal_path=root / f"{tag}-journal.jsonl",
+                        auditor_key=key, fanout_workers=fanout_workers)
+    return sharded, dbs, servers, clients
+
+
+def _fanout_teardown(sharded, dbs, servers, clients) -> None:
+    for client in clients:
+        client.close()
+    for server in servers:
+        server.shutdown()
+    for db in dbs:
+        db.close()
+    sharded.fanout.close()
+    sharded.journal.close()
+
+
+def measure_fanout_2pc(root: Path, shards: int = 4,
+                       txns: int = 48, warmup: int = 6) -> dict:
+    """Concurrent vs serial 2PC fan-out over ``shards`` wire shards.
+
+    Every measured transaction writes one row per warehouse, and the
+    :class:`WarehouseRouter` pins warehouse *w* to shard ``(w-1) % N``,
+    so each commit is a full all-shard two-phase commit: N prepares
+    (each an fsync'd PREPARE record on its own shard) + the decision +
+    N commits.  Serially that is 2N sequential round-trips-plus-fsyncs;
+    with the fan-out executor both phases run as *max* over shards.
+
+    The comparison is only trusted when the cheap path proves it did
+    the same work: per-relation contents equality between the two
+    fleets, both distributed audits clean, and — because the per-shard
+    operation sequences are deterministic and the fleets share one
+    auditor key — **byte-identical** merged attestations.
+    """
+    from repro.shard import DistributedAuditor
+
+    schema = Schema("spread", [Field("w", FieldType.INT),
+                               Field("seq", FieldType.INT),
+                               Field("v", FieldType.STR)],
+                    key_fields=["w", "seq"])
+
+    def run(tag: str, fanout_workers):
+        # generate() is deterministic per name, so both fleets sign
+        # with the same key and attestations are byte-comparable
+        key = AuditorKey.generate("fanout-bench")
+        sharded, dbs, servers, clients = _fanout_fleet(
+            root, tag, shards, key, fanout_workers)
+        sharded.create_relation(schema)
+        latencies: list = []
+        wall_start = time.perf_counter()
+        for seq in range(warmup + txns):
+            txn = sharded.begin()
+            for w in range(1, shards + 1):
+                sharded.insert(txn, "spread",
+                               {"w": w, "seq": seq,
+                                "v": f"s{seq}w{w}"})
+            assert len(txn.writes) == shards
+            started = time.perf_counter()
+            sharded.commit(txn)
+            if seq >= warmup:
+                latencies.append(time.perf_counter() - started)
+        wall = time.perf_counter() - wall_start
+        contents = [k for k, _ in sharded.scan("spread")]
+        report = DistributedAuditor(sharded, key).audit(rotate=False)
+        counters = sharded.metrics()["coordinator"]["counters"]
+        cell = {
+            "fanout_workers": sharded.fanout_workers,
+            "commit_p50_ms": round(
+                statistics.median(latencies) * 1000.0, 3),
+            "commit_mean_ms": round(
+                statistics.fmean(latencies) * 1000.0, 3),
+            "wall_seconds": round(wall, 4),
+            "commits_2pc": counters.get("shard_commit_2pc_total", 0),
+            "audit_ok": bool(report.ok and report.verify(key)),
+        }
+        _fanout_teardown(sharded, dbs, servers, clients)
+        return cell, contents, report
+
+    serial_cell, serial_contents, serial_report = run("ser", 1)
+    conc_cell, conc_contents, conc_report = run("conc", None)
+    speedup = (serial_cell["commit_p50_ms"] /
+               conc_cell["commit_p50_ms"]) \
+        if conc_cell["commit_p50_ms"] else None
+    # the acceptance bar: >= 1.5x over >= 4 remote shards; smaller
+    # smoke fleets only need to show the direction
+    min_speedup = 1.5 if shards >= 4 else 1.1
+    return {
+        "shards": shards,
+        "measured_txns": txns,
+        "serial": serial_cell,
+        "concurrent": conc_cell,
+        "speedup": round(speedup, 2) if speedup else None,
+        "min_speedup": min_speedup,
+        "speedup_ok": bool(speedup and speedup >= min_speedup),
+        "contents_match": serial_contents == conc_contents,
+        "audits_clean": bool(serial_cell["audit_ok"] and
+                             conc_cell["audit_ok"]),
+        "attestation_identical": (
+            serial_report.message == conc_report.message and
+            serial_report.attestation == conc_report.attestation),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--txns", type=int, default=600,
                         help="transactions per mode (default 600)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent /
-                        "BENCH_PR9.json")
+                        "BENCH_PR10.json")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="embed a previously captured report")
     parser.add_argument("--check-baseline", type=Path, default=None,
@@ -633,10 +798,17 @@ def main(argv=None) -> int:
                              "section")
     parser.add_argument("--shard-only", action="store_true",
                         help="run only the shard-scaling section")
+    parser.add_argument("--fanout-only", action="store_true",
+                        help="run only the concurrent-vs-serial 2PC "
+                             "fan-out cell (wire shards + pipelined "
+                             "connections)")
     parser.add_argument("--shards", default=None,
                         help="comma-separated shard counts for the "
                              "shard-scaling section (default 1,2,4; "
                              "1,2 under --quick)")
+    parser.add_argument("--fanout-shards", type=int, default=None,
+                        help="remote shard count for the fan-out cell "
+                             "(default 4; 2 under --quick)")
     parser.add_argument("--connections", default=None,
                         help="comma-separated connection counts for the "
                              "server section (default 1,4,16,64; "
@@ -663,9 +835,15 @@ def main(argv=None) -> int:
             parser.error("--audit-workers counts must be >= 1")
     else:
         worker_counts = (2,) if args.quick else (2, 4, 8)
-    if sum([args.audit_only, args.server_only, args.shard_only]) > 1:
-        parser.error("--audit-only, --server-only and --shard-only "
-                     "are exclusive")
+    if sum([args.audit_only, args.server_only, args.shard_only,
+            args.fanout_only]) > 1:
+        parser.error("--audit-only, --server-only, --shard-only and "
+                     "--fanout-only are exclusive")
+    if args.fanout_shards is None:
+        args.fanout_shards = 2 if args.quick else 4
+    if args.fanout_shards < 2:
+        parser.error("--fanout-shards must be at least 2 (a 2PC needs "
+                     "two writers)")
     if args.shards is not None:
         try:
             shard_counts = tuple(
@@ -690,7 +868,8 @@ def main(argv=None) -> int:
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         report = {}
-        solo = args.audit_only or args.server_only or args.shard_only
+        solo = args.audit_only or args.server_only or \
+            args.shard_only or args.fanout_only
         if not solo:
             report = run_sweep(args.txns, Path(tmp),
                                repeats=1 if args.quick else args.repeats)
@@ -710,6 +889,12 @@ def main(argv=None) -> int:
             report["shard_scaling"] = measure_shard_scaling(
                 args.txns, Path(tmp), shard_counts=shard_counts,
                 repeats=1 if args.quick else 2)
+        if not solo or args.shard_only or args.fanout_only:
+            report.setdefault("shard_scaling", {})["fanout_2pc"] = \
+                measure_fanout_2pc(
+                    Path(tmp), shards=args.fanout_shards,
+                    txns=16 if args.quick else 48,
+                    warmup=2 if args.quick else 6)
     report = {"label": args.label, "transactions_per_mode": args.txns,
               "scale": "small", "quick": args.quick, **report}
     if args.baseline is not None:
@@ -753,7 +938,7 @@ def main(argv=None) -> int:
                       f"p95 {lat['p95']}ms, p99 {lat['p99']}ms "
                       f"({cell['conflicts']} conflicts)")
     shard = report.get("shard_scaling")
-    if shard is not None:
+    if shard is not None and "shards" in shard:
         for count, cell in shard["shards"].items():
             print(f"  shard x{count}: audit critical path "
                   f"{cell['audit_critical_path_seconds']}s "
@@ -763,8 +948,16 @@ def main(argv=None) -> int:
         print(f"  shard critical-path speedup "
               f"{shard['critical_path_speedup']}x at "
               f"{max(shard['shards'])} shards")
+    fanout = (shard or {}).get("fanout_2pc")
+    if fanout is not None:
+        print(f"  fanout 2PC over {fanout['shards']} wire shards: "
+              f"serial p50 {fanout['serial']['commit_p50_ms']}ms vs "
+              f"concurrent p50 "
+              f"{fanout['concurrent']['commit_p50_ms']}ms "
+              f"({fanout['speedup']}x, "
+              f"{fanout['concurrent']['fanout_workers']} workers)")
     failed = False
-    if shard is not None:
+    if shard is not None and "shards" in shard:
         if not shard["contents_match"]:
             print("  FAIL: sharded table contents diverge from the "
                   f"1-shard baseline: {shard['mismatched_shard_counts']}",
@@ -779,6 +972,25 @@ def main(argv=None) -> int:
                   "the shard count "
                   f"({shard['critical_path_speedup']}x)",
                   file=sys.stderr)
+            failed = True
+    if fanout is not None:
+        if not fanout["contents_match"]:
+            print("  FAIL: fan-out fleets' table contents diverge",
+                  file=sys.stderr)
+            failed = True
+        if not fanout["audits_clean"]:
+            print("  FAIL: fan-out fleet audit(s) unclean",
+                  file=sys.stderr)
+            failed = True
+        if not fanout["attestation_identical"]:
+            print("  FAIL: serial and concurrent fan-out attestations "
+                  "are not byte-identical", file=sys.stderr)
+            failed = True
+        if not fanout["speedup_ok"]:
+            print(f"  FAIL: concurrent 2PC fan-out speedup "
+                  f"{fanout['speedup']}x below the "
+                  f"{fanout['min_speedup']}x bar at "
+                  f"{fanout['shards']} shards", file=sys.stderr)
             failed = True
     if audit is not None and not audit["reports_match"]:
         print("  FAIL: parallel audit report(s) differ from serial: "

@@ -174,6 +174,25 @@ class ServerProtocolError(ServerError):
     truncated payload, or non-JSON content)."""
 
 
+class ServerTimeoutError(ServerError):
+    """No response arrived within the per-request receive timeout.
+
+    The request may or may not have executed server-side, so a verbatim
+    resend is **not** safe for handle-bound operations.  On a plain
+    :class:`~repro.server.client.ServerClient` the byte stream is now
+    desynchronised (a late response would be misread as the next
+    request's), so the connection is closed; a
+    :class:`~repro.server.pipeline.PipelinedClient` correlates by
+    request id and stays usable — the late response is discarded.
+    """
+
+    def __init__(self, op: str, timeout: float) -> None:
+        super().__init__(
+            f"no response to {op!r} within {timeout}s")
+        self.op = op
+        self.timeout = timeout
+
+
 class ServerRequestError(ServerError):
     """A request was rejected by the server (client-side surface).
 

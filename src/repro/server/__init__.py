@@ -6,8 +6,9 @@ every database touch, queue-depth admission control with explicit
 ``BUSY`` backpressure, and graceful drain on shutdown.
 """
 
-from .client import ServerClient
+from .client import ServerClient, unwrap_response
 from .frontend import ComplianceServer, ServerConfig
+from .pipeline import PipelinedClient
 from .protocol import (MAX_FRAME_BYTES, RETRYABLE_CODES, map_exception,
                        recv_frame, send_frame, wire_decode, wire_encode)
 from .service import (ComplianceService, Session, SingleWriterExecutor,
@@ -17,6 +18,7 @@ __all__ = [
     "ComplianceServer",
     "ComplianceService",
     "MAX_FRAME_BYTES",
+    "PipelinedClient",
     "RETRYABLE_CODES",
     "ServerClient",
     "ServerConfig",
@@ -26,6 +28,7 @@ __all__ = [
     "recv_frame",
     "replay_history",
     "send_frame",
+    "unwrap_response",
     "wire_decode",
     "wire_encode",
 ]

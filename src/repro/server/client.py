@@ -24,9 +24,32 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..common.codec import Schema
-from ..common.errors import ServerProtocolError, ServerRequestError
+from ..common.errors import (ServerProtocolError, ServerRequestError,
+                             ServerTimeoutError)
 from .protocol import (BUSY, RETRYABLE_CODES, recv_frame, send_frame,
                        wire_decode, wire_encode)
+
+#: sentinel distinguishing "no per-request override" from an explicit
+#: ``None`` (= wait forever)
+_UNSET = object()
+
+
+def unwrap_response(response: Dict[str, Any]) -> Dict[str, Any]:
+    """Result object of an ``ok`` response, or the mapped
+    :class:`ServerRequestError` of an error response.  Shared by the
+    blocking client's request path and the pipelined client's waiters.
+    """
+    if response.get("ok"):
+        result = response.get("result")
+        return result if isinstance(result, dict) else {}
+    code = str(response.get("error", "ERROR"))
+    # the server's verdict wins; a response missing the field (or an
+    # older server) falls back to the protocol's canonical code set,
+    # so exc.retryable and RETRYABLE_CODES can never disagree
+    retryable = bool(response.get("retryable",
+                                  code in RETRYABLE_CODES))
+    raise ServerRequestError(code, str(response.get("message", "")),
+                             retryable=retryable)
 
 
 class _RemoteClock:
@@ -79,24 +102,43 @@ class _ClientTxnContext:
 class ServerClient:
     """Blocking frame-protocol client (context manager)."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 request_timeout: Optional[float] = 30.0):
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._next_id = 1
+        #: default per-request receive timeout (None = wait forever);
+        #: override per call with ``request(op, _timeout=...)``
+        self.request_timeout = request_timeout
         #: ``db.clock.now()`` compatibility surface (see _RemoteClock)
         self.clock = _RemoteClock(self)
 
     # -- plumbing ------------------------------------------------------------
 
-    def request(self, op: str, **args: Any) -> Dict[str, Any]:
+    def request(self, op: str, _timeout: Any = _UNSET,
+                **args: Any) -> Dict[str, Any]:
         """One round-trip; returns the result object or raises
-        :class:`ServerRequestError` with the server's code."""
+        :class:`ServerRequestError` with the server's code.
+
+        ``_timeout`` overrides the client's ``request_timeout`` for this
+        request only (``None`` = wait forever).  A hung server raises
+        :class:`ServerTimeoutError` instead of blocking the caller; the
+        connection is closed, because the byte stream no longer lines up
+        with the request the caller thinks is next.
+        """
+        timeout = self.request_timeout if _timeout is _UNSET \
+            else _timeout
         request_id = self._next_id
         self._next_id += 1
         send_frame(self._sock, {"op": op, "args": args,
                                 "id": request_id})
-        response = recv_frame(self._sock)
+        try:
+            self._sock.settimeout(timeout)
+            response = recv_frame(self._sock)
+        except (TimeoutError, socket.timeout):
+            self.close()
+            raise ServerTimeoutError(op, timeout) from None
         if response is None:
             raise ServerProtocolError(
                 "server closed the connection mid-request")
@@ -104,17 +146,7 @@ class ServerClient:
             raise ServerProtocolError(
                 f"response id {response.get('id')!r} does not match "
                 f"request id {request_id}")
-        if response.get("ok"):
-            result = response.get("result")
-            return result if isinstance(result, dict) else {}
-        code = str(response.get("error", "ERROR"))
-        # the server's verdict wins; a response missing the field (or an
-        # older server) falls back to the protocol's canonical code set,
-        # so exc.retryable and RETRYABLE_CODES can never disagree
-        retryable = bool(response.get("retryable",
-                                      code in RETRYABLE_CODES))
-        raise ServerRequestError(code, str(response.get("message", "")),
-                                 retryable=retryable)
+        return unwrap_response(response)
 
     def request_with_retry(self, op: str, *, attempts: int = 5,
                            backoff: float = 0.01,

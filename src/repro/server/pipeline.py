@@ -1,0 +1,180 @@
+"""Pipelined client: many in-flight requests multiplexed on one socket.
+
+The wire protocol has carried an opaque ``id`` on every request since
+PR 7, echoed verbatim on the response exactly so that clients *may*
+pipeline.  :class:`PipelinedClient` is the client that finally does:
+
+* ``request`` assigns a fresh id, registers a per-request
+  :class:`~concurrent.futures.Future`, sends the frame (sends are
+  serialised by a lock so frames never interleave), and waits on the
+  future — so any number of threads can have requests in flight on the
+  same connection simultaneously;
+* one **reader thread** owns the receive side of the socket, resolves
+  each arriving response against the pending-future table by id, and
+  discards responses whose request was abandoned by a timeout;
+* a per-request **timeout** bounds the wait on the future, not the
+  socket — a timed-out request raises
+  :class:`~repro.common.errors.ServerTimeoutError` but the connection
+  stays usable (unlike the blocking client, where a timeout
+  desynchronises the byte stream and forces a close), because the late
+  response is matched by id and dropped;
+* **connection death** (EOF, protocol damage, socket error, or
+  ``close``) fails every in-flight future with
+  :class:`~repro.common.errors.ServerProtocolError` and poisons the
+  client: later requests fail immediately instead of hanging.
+
+The server handles one frame at a time per connection, so pipelined
+requests on one socket execute in send order and their responses arrive
+in the same order; what pipelining buys is (a) thread-safety — the shard
+coordinator's fan-out workers can share one connection per shard without
+a socket-per-thread — and (b) latency overlap: N requests cost one
+round-trip plus N service times instead of N full round-trips.
+
+All convenience operations (``begin``/``insert``/``scan``/``audit``/…)
+are inherited from :class:`~repro.server.client.ServerClient` — they
+route through :meth:`request` and therefore pipeline transparently.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Dict, Optional
+
+from ..common.errors import (ServerProtocolError, ServerRequestError,
+                             ServerTimeoutError)
+from .client import ServerClient, _UNSET, unwrap_response
+from .protocol import recv_frame, send_frame
+
+
+class PipelinedClient(ServerClient):
+    """Thread-safe, multiplexing variant of :class:`ServerClient`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 request_timeout: Optional[float] = 30.0):
+        super().__init__(host, port, timeout=timeout,
+                         request_timeout=request_timeout)
+        # the reader blocks in recv indefinitely; request deadlines are
+        # enforced on the per-request futures instead of the socket
+        self._sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        self._table_lock = threading.Lock()
+        self._pending: Dict[int, "Future[Dict[str, Any]]"] = {}
+        self._dead: Optional[BaseException] = None
+        self._closing = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-pipeline-reader",
+            daemon=True)
+        self._reader.start()
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently awaiting a response."""
+        with self._table_lock:
+            return len(self._pending)
+
+    def request(self, op: str, _timeout: Any = _UNSET,
+                **args: Any) -> Dict[str, Any]:
+        """Send one request and wait for *its* response (by id).
+
+        Safe to call from any number of threads concurrently.  On
+        timeout the request is abandoned (its late response will be
+        discarded by the reader) and the connection remains usable.
+        """
+        timeout = self.request_timeout if _timeout is _UNSET \
+            else _timeout
+        future: "Future[Dict[str, Any]]" = Future()
+        with self._table_lock:
+            if self._dead is not None:
+                raise ServerProtocolError(
+                    f"pipelined connection is closed: {self._dead}"
+                ) from self._dead
+            request_id = self._next_id
+            self._next_id += 1
+            self._pending[request_id] = future
+        try:
+            with self._send_lock:
+                send_frame(self._sock, {"op": op, "args": args,
+                                        "id": request_id})
+        except (OSError, ServerProtocolError) as exc:
+            with self._table_lock:
+                self._pending.pop(request_id, None)
+            self._fail_inflight(exc)
+            raise ServerProtocolError(
+                f"pipelined send failed: {exc}") from exc
+        try:
+            response = future.result(timeout=timeout)
+        except FutureTimeoutError:
+            with self._table_lock:
+                self._pending.pop(request_id, None)
+            raise ServerTimeoutError(op, timeout) from None
+        return unwrap_response(response)
+
+    # -- reader thread -------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                response = recv_frame(self._sock)
+                if response is None:
+                    raise ServerProtocolError(
+                        "server closed the connection")
+                request_id = response.get("id")
+                with self._table_lock:
+                    future = self._pending.pop(request_id, None)
+                if future is not None:
+                    future.set_result(response)
+                # unmatched id: the request timed out and was
+                # abandoned — the late response is dropped here
+        except BaseException as exc:
+            self._fail_inflight(exc)
+
+    def _fail_inflight(self, cause: BaseException) -> None:
+        """Poison the client and fail every in-flight future."""
+        if isinstance(cause, ServerProtocolError):
+            failure: BaseException = cause
+        elif self._closing and isinstance(cause, OSError):
+            failure = ServerProtocolError("client closed the connection")
+        else:
+            failure = ServerProtocolError(
+                f"pipelined connection died: {cause!r}")
+        with self._table_lock:
+            if self._dead is None:
+                self._dead = failure
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            # a future may have been resolved by a racing reader pass;
+            # set_exception on a done future raises — guard with the
+            # public state check
+            if not future.done():
+                try:
+                    future.set_exception(failure)
+                except Exception:  # pragma: no cover - benign race
+                    pass
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the socket; in-flight requests fail, the reader exits."""
+        self._closing = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        super().close()
+        if threading.current_thread() is not self._reader:
+            self._reader.join(timeout=5)
+
+    def __enter__(self) -> "PipelinedClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+__all__ = ["PipelinedClient", "ServerRequestError"]

@@ -15,11 +15,16 @@ horizontally partitioned database:
   deterministic in-doubt resolution on recovery;
 * :mod:`~repro.shard.dist_audit` — :class:`DistributedAuditor`:
   per-shard audits folded by ADD-HASH union into one signed cross-shard
-  attestation.
+  attestation;
+* :mod:`~repro.shard.fanout` — :class:`FanoutExecutor`: the bounded
+  per-shard fan-out pool (serial-equivalent semantics, explicit
+  confinement rules) behind the coordinator's and auditor's
+  concurrency, with the clock-hazard worker resolution rule.
 """
 
 from .dist_audit import DistributedAuditor, DistributedAuditReport
 from .coordinator import DistributedTxn, ShardedDB
+from .fanout import FanoutExecutor, Outcome, resolve_workers
 from .journal import DecisionJournal
 from .router import (ROUTERS, HashRouter, ShardRouter, WarehouseRouter,
                      make_router)
@@ -29,10 +34,13 @@ __all__ = [
     "DistributedAuditReport",
     "DistributedAuditor",
     "DistributedTxn",
+    "FanoutExecutor",
     "HashRouter",
+    "Outcome",
     "ROUTERS",
     "ShardRouter",
     "ShardedDB",
     "WarehouseRouter",
     "make_router",
+    "resolve_workers",
 ]

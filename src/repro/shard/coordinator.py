@@ -24,10 +24,23 @@ Phase-two failures after the decision is journaled do **not** un-commit
 the transaction — they surface as
 :class:`~repro.common.errors.ShardCommitError` naming the shards that
 must be recovered through the coordinator to catch up.
+
+Since PR 10 the per-shard loops (2PC phase one and two, scan fan-out,
+``insert_many`` groups, ``create_relation``, ``checkpoint``,
+``recover``/``crash_recover``) dispatch through a
+:class:`~repro.shard.fanout.FanoutExecutor`, so cross-shard latency is
+*max(shards)* instead of *sum(shards)*.  Semantics are unchanged — see
+the executor's confinement rules and the ``fanout_workers`` knob below:
+shard sets whose in-process backends share one
+:class:`~repro.common.clock.SimulatedClock` (the :meth:`create` /
+:meth:`open` layout) stay serial automatically, because concurrent
+commits would race the clock's ticks and make timestamps, digests, and
+audit attestations nondeterministic.
 """
 
 from __future__ import annotations
 
+import heapq
 import json
 import os
 from pathlib import Path
@@ -40,6 +53,7 @@ from ..common.errors import (ConfigError, ServerRequestError, ShardError,
                              ShardCommitError, TransactionStateError)
 from ..crypto.signatures import AuditorKey
 from ..obs import Observability
+from .fanout import FanoutExecutor, Outcome, resolve_workers
 from .journal import DecisionJournal
 from .router import ShardRouter, WarehouseRouter, make_router
 
@@ -113,7 +127,8 @@ class ShardedDB:
                  clock: Optional[SimulatedClock] = None,
                  auditor_key: Optional[AuditorKey] = None,
                  obs: Optional[Observability] = None,
-                 journal_path: Optional[os.PathLike] = None):
+                 journal_path: Optional[os.PathLike] = None,
+                 fanout_workers: Optional[int] = None):
         if not backends:
             raise ConfigError("ShardedDB needs at least one backend")
         self.backends = list(backends)
@@ -132,6 +147,17 @@ class ShardedDB:
         self.auditor_key = auditor_key if auditor_key is not None \
             else AuditorKey.generate()
         self.obs = obs if obs is not None else Observability()
+        # concurrency is refused (auto) or rejected (explicit) when the
+        # coordinator's clock is also ticked by an in-process shard, or
+        # when two in-process shards share one clock — see
+        # fanout.resolve_workers for the rule's rationale
+        shared_clock = self.clock is not None and any(
+            hasattr(b, "engine") and
+            getattr(b, "clock", None) is self.clock
+            for b in self.backends)
+        self.fanout_workers = resolve_workers(fanout_workers,
+                                              self.backends, shared_clock)
+        self.fanout = FanoutExecutor(self.fanout_workers, obs=self.obs)
         self._schemas: Dict[str, Schema] = {}
         self._gid_seq = 0
         registry = self.obs.registry
@@ -155,12 +181,16 @@ class ShardedDB:
                router: str = WarehouseRouter.name,
                clock: Optional[SimulatedClock] = None,
                auditor_key: Optional[AuditorKey] = None,
-               obs: Optional[Observability] = None) -> "ShardedDB":
+               obs: Optional[Observability] = None,
+               fanout_workers: Optional[int] = None) -> "ShardedDB":
         """Create ``shards`` fresh in-process shards under ``path``.
 
         All shards share one simulated clock and one auditor key, so
         cross-shard timestamps are comparable and the distributed
-        auditor can sign one combined attestation.
+        auditor can sign one combined attestation.  The shared clock
+        also means fan-out stays serial (``fanout_workers`` auto
+        resolves to 1; asking for more raises ``ConfigError``) —
+        concurrency needs per-shard clocks, i.e. remote shards.
         """
         from ..core.database import CompliantDB
         base = Path(path)
@@ -175,14 +205,16 @@ class ShardedDB:
             {"shards": shards, "router": router}, sort_keys=True))
         return cls(backends, make_router(router, shards),
                    DecisionJournal(base / JOURNAL_FILE), clock=clock,
-                   auditor_key=key, obs=obs)
+                   auditor_key=key, obs=obs,
+                   fanout_workers=fanout_workers)
 
     @classmethod
     def open(cls, path: os.PathLike, *,
              clock: Optional[SimulatedClock] = None,
              auditor_key: Optional[AuditorKey] = None,
              obs: Optional[Observability] = None,
-             recover: bool = True) -> "ShardedDB":
+             recover: bool = True,
+             fanout_workers: Optional[int] = None) -> "ShardedDB":
         """Re-open a sharded database created by :meth:`create`.
 
         By default every shard is recovered immediately, with the
@@ -202,7 +234,8 @@ class ShardedDB:
             for i in range(shards)]
         sharded = cls(backends, make_router(str(meta["router"]), shards),
                       DecisionJournal(base / JOURNAL_FILE), clock=clock,
-                      auditor_key=key, obs=obs)
+                      auditor_key=key, obs=obs,
+                      fanout_workers=fanout_workers)
         if recover:
             sharded.recover()
         return sharded
@@ -285,29 +318,38 @@ class ShardedDB:
                     writers: List[int]) -> int:
         with self.obs.tracer.span("shard.2pc", gid=txn.gid,
                                   writers=len(writers)):
-            # phase one: every writer durably prepares under the gid
-            try:
-                for shard in writers:
-                    self.backends[shard].prepare(txn.handles[shard],
-                                                 txn.gid)
-            except BaseException:
-                # presumed abort: no decision journaled, release all
+            # phase one: every writer durably prepares under the gid —
+            # concurrently, since each prepare touches one shard.  All
+            # tasks run to completion; with any failure no decision is
+            # journaled, so a successfully prepared shard simply aborts
+            # below (presumed abort), same as the serial path's
+            # never-prepared tail.
+            prepared = self.fanout.map("prepare", [
+                (shard,
+                 lambda b=self.backends[shard], h=txn.handles[shard]:
+                     b.prepare(h, txn.gid))
+                for shard in writers])
+            failed = [o for o in prepared if not o.ok]
+            if failed:
                 txn.state = "aborted"
                 self._abort_handles(txn)
                 self._c_aborts.inc()
-                raise
+                # deterministic aggregation: the lowest failing shard's
+                # error — exactly what the serial in-order loop raised
+                raise failed[0].error  # type: ignore[misc]
             # the decision: one fsync, after which the txn IS committed
             self.journal.log_commit(txn.gid)
-            # phase two: everyone commits (readers need no prepare)
-            commit_time = 0
-            failures: Dict[int, BaseException] = {}
-            for shard in readers + writers:
-                try:
-                    time = self.backends[shard].commit(
-                        txn.handles[shard])
-                    commit_time = max(commit_time, int(time))
-                except BaseException as exc:
-                    failures[shard] = exc
+            # phase two: everyone commits (readers need no prepare);
+            # failures are collected per shard, never raced
+            committed = self.fanout.map("commit", [
+                (shard,
+                 lambda b=self.backends[shard], h=txn.handles[shard]:
+                     int(b.commit(h)))
+                for shard in readers + writers])
+            commit_time = max(
+                (o.value for o in committed if o.ok), default=0)
+            failures: Dict[int, BaseException] = {
+                o.key: o.error for o in committed if o.error is not None}
             txn.state = "committed"
             self._c_2pc.inc()
             if failures:
@@ -361,8 +403,10 @@ class ShardedDB:
         from ..api import coerce_relation_args
         schema, use_tsb = coerce_relation_args(schema, args, fields, key,
                                                use_tsb)
-        for backend in self.backends:
-            backend.create_relation(schema, use_tsb=use_tsb)
+        self._raise_first(self.fanout.map("create_relation", [
+            (idx, lambda b=backend: b.create_relation(schema,
+                                                      use_tsb=use_tsb))
+            for idx, backend in enumerate(self.backends)]))
         self._schemas[schema.name] = schema
 
     def insert(self, txn: DistributedTxn, relation: str,
@@ -382,10 +426,21 @@ class ShardedDB:
         for row in rows:
             shard = self.router.shard_of(relation, schema.key_of(row))
             groups.setdefault(shard, []).append(row)
-        for shard in sorted(groups):
-            self.backends[shard].insert_many(self._handle(txn, shard),
-                                             relation, groups[shard])
-            txn.writes.add(shard)
+        # handle opening and writes bookkeeping stay on the calling
+        # thread (DistributedTxn is not shared with pool threads); only
+        # the per-shard batch inserts fan out
+        handles = {shard: self._handle(txn, shard)
+                   for shard in sorted(groups)}
+        outcomes = self.fanout.map("insert_many", [
+            (shard,
+             lambda b=self.backends[shard], h=handles[shard],
+                    batch=groups[shard]:
+                 b.insert_many(h, relation, batch))
+            for shard in sorted(groups)])
+        for outcome in outcomes:
+            if outcome.ok:
+                txn.writes.add(outcome.key)
+        self._raise_first(outcomes)
 
     def update(self, txn: DistributedTxn, relation: str,
                row: Dict[str, Any]) -> None:
@@ -421,20 +476,29 @@ class ShardedDB:
              at: Optional[int] = None
              ) -> List[Tuple[Tuple[Any, ...], Dict[str, Any]]]:
         """Range scan fanned out to every shard that may hold rows,
-        merged back into global key order."""
+        merged back into global key order.
+
+        Each shard already returns its rows key-ordered, so the merge
+        is a streaming :func:`heapq.merge` over the per-shard result
+        lists — O(n log shards) instead of the old extend-then-sort's
+        O(n log n) over the whole result."""
         self._schema(relation)
         shards = self.router.shards_for_scan(relation)
         if len(shards) > 1:
             self._c_cross_reads.inc()
-        merged: List[Tuple[Tuple[Any, ...], Dict[str, Any]]] = []
-        for shard in shards:
-            handle = self._handle(txn, shard) if txn is not None \
-                else None
-            merged.extend(self.backends[shard].scan(
-                relation, lo=lo, hi=hi, txn=handle, at=at))
-        if len(shards) > 1:
-            merged.sort(key=lambda pair: encode_key(pair[0]))
-        return merged
+        handles = {shard: self._handle(txn, shard) for shard in shards} \
+            if txn is not None else {}
+        outcomes = self.fanout.map("scan", [
+            (shard,
+             lambda b=self.backends[shard], h=handles.get(shard):
+                 b.scan(relation, lo=lo, hi=hi, txn=h, at=at))
+            for shard in shards])
+        self._raise_first(outcomes)
+        if len(outcomes) == 1:
+            return list(outcomes[0].value)
+        return list(heapq.merge(
+            *(outcome.value for outcome in outcomes),
+            key=lambda pair: encode_key(pair[0])))
 
     # -- lifecycle / maintenance ---------------------------------------------
 
@@ -451,10 +515,20 @@ class ShardedDB:
             return self.clock.now()
         return int(self.backends[0].now())
 
+    def _raise_first(self, outcomes: List[Outcome]) -> List[Outcome]:
+        """Re-raise the lowest-shard failure (deterministic aggregate
+        of a fan-out round where the serial loop raised in shard
+        order); pass the outcomes through otherwise."""
+        for outcome in outcomes:
+            if outcome.error is not None:
+                raise outcome.error
+        return outcomes
+
     def checkpoint(self) -> None:
         """Checkpoint every shard."""
-        for backend in self.backends:
-            backend.checkpoint()
+        self._raise_first(self.fanout.map("checkpoint", [
+            (idx, lambda b=backend: b.checkpoint())
+            for idx, backend in enumerate(self.backends)]))
 
     def maintenance(self, force: bool = False) -> bool:
         """Run regret-interval duties on every shard."""
@@ -486,24 +560,29 @@ class ShardedDB:
         presumed abort otherwise).  Returns per-shard recovery reports
         for shards that exposed one."""
         commits = self.journal.committed_gids()
-        reports: Dict[int, Any] = {}
-        for idx, backend in enumerate(self.backends):
-            if hasattr(backend, "recover"):
-                reports[idx] = backend.recover(in_doubt_commits=commits)
-        return reports
+        outcomes = self.fanout.map("recover", [
+            (idx, lambda b=backend: b.recover(in_doubt_commits=commits))
+            for idx, backend in enumerate(self.backends)
+            if hasattr(backend, "recover")])
+        self._raise_first(outcomes)
+        return {outcome.key: outcome.value for outcome in outcomes}
 
     def crash_recover(self) -> Dict[int, Any]:
         """Test harness: crash every shard, then recover them all
         through the journal (wire shards use their crash_recover op)."""
         commits = sorted(self.journal.committed_gids())
-        reports: Dict[int, Any] = {}
-        for idx, backend in enumerate(self.backends):
+
+        def crash_one(backend: Any) -> Any:
             if hasattr(backend, "crash_recover"):
-                reports[idx] = backend.crash_recover(commits=commits)
-            else:
-                backend.crash()
-                reports[idx] = backend.recover(in_doubt_commits=commits)
-        return reports
+                return backend.crash_recover(commits=commits)
+            backend.crash()
+            return backend.recover(in_doubt_commits=commits)
+
+        outcomes = self.fanout.map("crash_recover", [
+            (idx, lambda b=backend: crash_one(b))
+            for idx, backend in enumerate(self.backends)])
+        self._raise_first(outcomes)
+        return {outcome.key: outcome.value for outcome in outcomes}
 
     def metrics(self) -> Dict[str, Any]:
         """Coordinator counters plus every shard's full metrics report."""
@@ -515,9 +594,11 @@ class ShardedDB:
         }
 
     def close(self) -> None:
-        """Clean shutdown: close every shard, then the journal."""
+        """Clean shutdown: close every shard, then the fan-out pool,
+        then the journal."""
         for backend in self.backends:
             backend.close()
+        self.fanout.close()
         self.journal.close()
 
     def __enter__(self) -> "ShardedDB":

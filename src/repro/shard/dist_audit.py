@@ -16,18 +16,26 @@ verdicts plus the combined digests, producing one attestation that
 covers the entire sharded database: any shard's tampering flips its own
 ``Df = Ds ∪ L`` check, which flips the combined verdict and names the
 offending shard in :meth:`DistributedAuditReport.tampered_shards`.
+
+Shards are audited **concurrently** when that is safe (each remote
+shard audits inside its own server; in-process shards need their own
+clocks — see :func:`~repro.shard.fanout.resolve_workers`).  The fold
+below is order-fixed (shard 0 ∪ shard 1 ∪ …) and the canonical message
+lists shards in index order, so the signed attestation is byte-identical
+no matter how many workers audited, or in what order they finished.
 """
 
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..core.audit import AuditReport, Auditor
 from ..crypto.hashes import AddHash
 from ..crypto.signatures import AuditorKey
+from ..obs import Observability
+from .fanout import FanoutExecutor, resolve_workers
 
 
 @dataclass
@@ -125,7 +133,8 @@ class DistributedAuditor:
 
     def __init__(self, source: Any,
                  key: Optional[AuditorKey] = None, *,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 fanout_workers: Optional[int] = None):
         backends = getattr(source, "backends", source)
         self.backends: List[Any] = list(backends)
         if key is None:
@@ -133,6 +142,22 @@ class DistributedAuditor:
                 or AuditorKey.generate()
         self.key = key
         self.workers = workers
+        # cross-shard concurrency obeys the same clock-hazard rule as
+        # the coordinator: epoch rotation ticks the shard's clock, so
+        # in-process shards sharing one clock are audited serially
+        self.fanout_workers = resolve_workers(
+            fanout_workers, self.backends,
+            self._shares_source_clock(source))
+        self.obs: Observability = getattr(source, "obs", None) \
+            or Observability()
+
+    def _shares_source_clock(self, source: Any) -> bool:
+        clock = getattr(source, "clock", None)
+        if clock is None:
+            return False
+        return any(hasattr(b, "engine") and
+                   getattr(b, "clock", None) is clock
+                   for b in self.backends)
 
     def _audit_shard(self, backend: Any, rotate: bool) -> AuditReport:
         if hasattr(backend, "engine"):  # in-process CompliantDB
@@ -146,13 +171,21 @@ class DistributedAuditor:
         return backend.audit(rotate=rotate, workers=self.workers)
 
     def audit(self, rotate: bool = True) -> DistributedAuditReport:
-        """Audit each shard in turn; fold and sign the combined report."""
-        reports: List[AuditReport] = []
-        seconds: List[float] = []
-        for backend in self.backends:
-            started = time.monotonic()
-            reports.append(self._audit_shard(backend, rotate))
-            seconds.append(time.monotonic() - started)
+        """Audit each shard (concurrently when safe); fold and sign.
+
+        Per-shard wall timings are kept in ``shard_seconds`` (shard
+        order); the digest fold and the canonical message are index-
+        ordered, so the attestation bytes do not depend on how many
+        workers ran or which shard finished first."""
+        with FanoutExecutor(self.fanout_workers, obs=self.obs) as pool:
+            outcomes = pool.map("audit", [
+                (idx, lambda b=backend: self._audit_shard(b, rotate))
+                for idx, backend in enumerate(self.backends)])
+        for outcome in outcomes:
+            if outcome.error is not None:
+                raise outcome.error
+        reports: List[AuditReport] = [o.value for o in outcomes]
+        seconds: List[float] = [o.seconds for o in outcomes]
         expected = AddHash()
         final = AddHash()
         for report in reports:

@@ -1,0 +1,297 @@
+"""Bounded fan-out executor for per-shard coordinator work.
+
+The coordinator's loops ("for each shard: prepare / commit / scan /
+audit") are embarrassingly parallel *between* shards but strictly serial
+*within* one — every backend here is single-caller (an in-process
+:class:`~repro.core.database.CompliantDB` has no internal locking; a
+:class:`~repro.server.client.ServerClient` has one byte stream).  The
+:class:`FanoutExecutor` encodes exactly that contract:
+
+**Confinement rules** (what keeps the PR 8 sanitizer clean):
+
+1. One round = one :meth:`map` call = at most one task per shard.  Two
+   tasks in a round sharing a shard key is a coordinator bug: it would
+   put two pool threads inside one single-caller backend.  The executor
+   refuses the round with :class:`~repro.common.errors.ShardError` and,
+   when the runtime sanitizer is installed, records a ``confinement``
+   violation so the test gate trips too.
+2. Rounds do not overlap: :meth:`map` blocks until every task of the
+   round has finished (success or failure) before returning, so at any
+   instant each shard sees at most one coordinator thread.
+3. Worker threads run the supplied thunks and **nothing else** — all
+   observability (counters, histograms, the in-flight gauge, tracer
+   spans) is emitted from the calling thread, before dispatch and after
+   the join.  The :class:`~repro.obs.registry.MetricsRegistry` and
+   :class:`~repro.obs.tracing.Tracer` are not thread-safe and never see
+   a pool thread; span parentage therefore survives cross-thread
+   dispatch trivially (spans simply never cross threads), and traces
+   stay byte-identical between serial and concurrent runs.
+
+**Determinism**: every task of a round runs to completion and its
+outcome (value or exception, plus elapsed wall seconds) is stored at the
+task's own index — results come back in submission order regardless of
+completion order, and errors are *collected*, never raced: the caller
+decides how to aggregate (lowest shard first, full failures map, ...)
+exactly as the serial loops did.
+
+With ``workers <= 1`` (or a single task) the round runs inline on the
+calling thread in submission order — byte-for-byte the old serial path,
+used when shards share a :class:`~repro.common.clock.SimulatedClock`
+and concurrent commits would race its ticks.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..common.errors import ShardError
+from ..obs import DEFAULT_LATENCY_BUCKETS, Observability
+
+#: default ceiling on pool threads regardless of shard count
+MAX_WORKERS = 16
+
+
+class Outcome:
+    """Result slot of one fan-out task (value XOR error, plus timing)."""
+
+    __slots__ = ("key", "value", "error", "seconds")
+
+    def __init__(self, key: int, value: Any = None,
+                 error: Optional[BaseException] = None,
+                 seconds: float = 0.0):
+        self.key = key
+        self.value = value
+        self.error = error
+        self.seconds = seconds
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        """The value, or re-raise the task's exception."""
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "ok" if self.ok else f"error={self.error!r}"
+        return f"Outcome(shard {self.key}, {state})"
+
+
+class _Round:
+    """Completion latch for one :meth:`FanoutExecutor.map` call."""
+
+    __slots__ = ("_remaining", "_lock", "_done")
+
+    def __init__(self, tasks: int):
+        self._remaining = tasks
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+
+    def task_done(self) -> None:
+        with self._lock:
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._done.set()
+
+    def wait(self) -> None:
+        self._done.wait()
+
+
+class FanoutExecutor:
+    """Persistent bounded thread pool with serial-equivalent semantics."""
+
+    def __init__(self, workers: int,
+                 obs: Optional[Observability] = None):
+        if workers < 1:
+            raise ShardError(f"fanout workers must be >= 1, got {workers}")
+        self.workers = min(int(workers), MAX_WORKERS)
+        self.obs = obs if obs is not None else Observability()
+        registry = self.obs.registry
+        self._g_inflight = registry.gauge(
+            "shard_fanout_inflight",
+            help="tasks currently dispatched to the fan-out pool")
+        self._threads: List[threading.Thread] = []
+        self._queue: "queue.SimpleQueue[Optional[Tuple[_Round, Outcome, Callable[[], Any]]]]" = (
+            queue.SimpleQueue())
+        self._closed = False
+
+    # -- the one entry point -------------------------------------------------
+
+    def map(self, op: str,
+            tasks: Sequence[Tuple[int, Callable[[], Any]]]
+            ) -> List[Outcome]:
+        """Run ``(shard key, thunk)`` tasks; outcomes in submission order.
+
+        Every task runs to completion; exceptions are captured in the
+        task's :class:`Outcome`, never raised here (except the
+        same-shard confinement breach, which fails the whole round
+        before anything is dispatched).
+        """
+        if self._closed:
+            raise ShardError("fanout executor is closed")
+        self._check_confinement(op, tasks)
+        started = time.monotonic()
+        outcomes = [Outcome(key) for key, _ in tasks]
+        if self.workers <= 1 or len(tasks) <= 1:
+            for outcome, (_, thunk) in zip(outcomes, tasks):
+                self._run_task(outcome, thunk)
+        else:
+            self._ensure_threads(len(tasks))
+            self._g_inflight.set(len(tasks))
+            round_ = _Round(len(tasks))
+            for outcome, (_, thunk) in zip(outcomes, tasks):
+                self._queue.put((round_, outcome, thunk))
+            round_.wait()
+            self._g_inflight.set(0)
+        self._observe(op, outcomes, time.monotonic() - started)
+        return outcomes
+
+    # -- obs (calling thread only) -------------------------------------------
+
+    def _observe(self, op: str, outcomes: List[Outcome],
+                 elapsed: float) -> None:
+        registry = self.obs.registry
+        registry.counter(
+            "shard_fanout_rounds_total",
+            help="fan-out rounds driven by the coordinator",
+            op=op).inc()
+        registry.counter(
+            "shard_fanout_tasks_total",
+            help="per-shard tasks dispatched by the coordinator",
+            op=op).inc(len(outcomes))
+        registry.histogram(
+            "shard_fanout_seconds", buckets=DEFAULT_LATENCY_BUCKETS,
+            help="wall time of one whole fan-out round",
+            op=op).observe(elapsed)
+        task_hist = registry.histogram(
+            "shard_fanout_task_seconds", buckets=DEFAULT_LATENCY_BUCKETS,
+            help="wall time of individual per-shard tasks", op=op)
+        for outcome in outcomes:
+            task_hist.observe(outcome.seconds)
+
+    # -- confinement ---------------------------------------------------------
+
+    def _check_confinement(self, op: str,
+                           tasks: Sequence[Tuple[int, Callable[[], Any]]]
+                           ) -> None:
+        seen: set = set()
+        dupes = sorted({key for key, _ in tasks
+                        if key in seen or seen.add(key)})  # type: ignore[func-returns-value]
+        if not dupes:
+            return
+        message = (
+            f"fan-out round {op!r} has {len(tasks)} tasks but shards "
+            f"{dupes} appear more than once — backends are "
+            "single-caller, so one round may touch each shard at most "
+            "once")
+        from ..analysis import sanitizer as _sanitizer
+        active = _sanitizer.current()
+        if active is not None:
+            active._record(_sanitizer.Violation(
+                "confinement", message,
+                threading.current_thread().name))
+        raise ShardError(message)
+
+    # -- pool plumbing -------------------------------------------------------
+
+    def _ensure_threads(self, needed: int) -> None:
+        target = min(self.workers, needed)
+        while len(self._threads) < target:
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-fanout-{len(self._threads)}",
+                daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            round_, outcome, thunk = item
+            try:
+                self._run_task(outcome, thunk)
+            finally:
+                round_.task_done()
+
+    @staticmethod
+    def _run_task(outcome: Outcome, thunk: Callable[[], Any]) -> None:
+        started = time.monotonic()
+        try:
+            outcome.value = thunk()
+        except BaseException as exc:
+            outcome.error = exc
+        outcome.seconds = time.monotonic() - started
+
+    def close(self) -> None:
+        """Stop the pool threads (idempotent; running rounds finish)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._threads.clear()
+
+    def __enter__(self) -> "FanoutExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def shared_clock_hazard(backends: Sequence[Any]) -> bool:
+    """True when two in-process backends share one clock object.
+
+    :class:`~repro.common.clock.SimulatedClock` is not thread-safe and
+    every in-process commit ticks it; concurrent fan-out over shards
+    sharing a clock would race those ticks and make commit timestamps —
+    and therefore page digests and audit attestations —
+    nondeterministic.  Remote backends are immune: each server process
+    owns its clock, and the client-side
+    :class:`~repro.server.client._RemoteClock` shim is stateless.
+    """
+    seen_ids: set = set()
+    for backend in backends:
+        if not hasattr(backend, "engine"):
+            continue  # remote: the clock lives server-side
+        clock = getattr(backend, "clock", None)
+        if clock is None:
+            continue
+        if id(clock) in seen_ids:
+            return True
+        seen_ids.add(id(clock))
+    return False
+
+
+def resolve_workers(fanout_workers: Optional[int],
+                    backends: Sequence[Any],
+                    shared_clock: bool) -> int:
+    """Worker count under the clock-hazard confinement rule.
+
+    ``None`` (auto) picks ``min(16, len(backends))`` when concurrency
+    is safe, else 1; an explicit ``fanout_workers > 1`` in a hazardous
+    configuration is refused loudly rather than silently serialised.
+    """
+    hazard = shared_clock or shared_clock_hazard(backends)
+    if fanout_workers is None:
+        return 1 if hazard else min(MAX_WORKERS, len(backends))
+    workers = int(fanout_workers)
+    if workers < 1:
+        raise ShardError(
+            f"fanout_workers must be >= 1, got {fanout_workers}")
+    if workers > 1 and hazard:
+        from ..common.errors import ConfigError
+        raise ConfigError(
+            "fanout_workers > 1 is unsafe here: in-process shards share "
+            "one SimulatedClock, and concurrent commits would race its "
+            "ticks (nondeterministic timestamps and digests); give each "
+            "shard its own clock or use remote shards")
+    return workers
